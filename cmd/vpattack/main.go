@@ -1,0 +1,206 @@
+// Command vpattack runs the value-predictor attacks and reproduces the
+// paper's evaluation numbers.
+//
+// Usage:
+//
+//	vpattack -table3                       # full Table III
+//	vpattack -attack "Train + Test" -channel timing-window
+//	vpattack -attack "Test + Hit" -predictor vtage -runs 100
+//	vpattack -attack "Fill Up" -channel persistent -dtype
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vpsec/internal/attacks"
+	"vpsec/internal/core"
+	"vpsec/internal/stats"
+)
+
+func main() {
+	var (
+		attackName = flag.String("attack", "", `attack category, e.g. "Train + Test" (see vpmodel)`)
+		variant    = flag.String("variant", "", `specific Table II pattern, e.g. "R^KI, S^SI', R^KI"`)
+		channel    = flag.String("channel", "timing-window", "channel: timing-window, persistent or volatile")
+		predKind   = flag.String("predictor", "lvp", "none, lvp, vtage, stride, stride-2d, fcm, oracle-lvp, oracle-vtage")
+		runs       = flag.Int("runs", 100, "trials per case (paper: 100)")
+		conf       = flag.Int("confidence", 4, "VPS confidence number")
+		seed       = flag.Int64("seed", 1, "base RNG seed")
+		table3     = flag.Bool("table3", false, "reproduce Table III for the chosen predictor")
+		atype      = flag.Bool("atype", false, "enable the A-type defense (history value)")
+		afixed     = flag.Bool("afixed", false, "A-type predicts a fixed value")
+		rwindow    = flag.Int("rwindow", 0, "R-type window size (0/1 disables)")
+		dtype      = flag.Bool("dtype", false, "enable the D-type defense")
+		flushSw    = flag.Bool("flush-switch", false, "flush the VPS on every context switch (OS mitigation)")
+		usePID     = flag.Bool("pid", false, "index the predictor with the pid (Sec. V-B ablation)")
+		prefetch   = flag.Bool("prefetch", false, "enable the next-line prefetcher ablation")
+		replay     = flag.Bool("replay", false, "selective-replay recovery instead of full squash")
+		eviction   = flag.Bool("eviction", false, "force misses with eviction sets instead of CLFLUSH (Train+Test only)")
+		fpc        = flag.Int("fpc", 0, "forward-probabilistic confidence rate 1/N for lvp/vtage (0 disables)")
+		noiseSweep = flag.Bool("noise-sweep", false, "sweep memory-latency jitter for the chosen attack")
+		confSweep  = flag.Bool("conf-sweep", false, "sweep VPS confidence thresholds for the chosen attack")
+		trainIters = flag.Int("train-iters", 0, "training accesses per trial (0: the confidence number)")
+	)
+	flag.Parse()
+
+	opt := attacks.Options{
+		Predictor:  attacks.PredictorKind(*predKind),
+		Confidence: *conf,
+		Runs:       *runs,
+		Seed:       *seed,
+		UsePID:     *usePID,
+		Prefetch:   *prefetch,
+		Replay:     *replay,
+		FPC:        *fpc,
+		TrainIters: *trainIters,
+		Defense: attacks.DefenseConfig{
+			AType:         *atype || *afixed,
+			AFixedOnly:    *afixed,
+			RWindow:       *rwindow,
+			DType:         *dtype,
+			FlushOnSwitch: *flushSw,
+		},
+	}
+
+	if *table3 {
+		if err := printTableIII(opt); err != nil {
+			fmt.Fprintln(os.Stderr, "vpattack:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *eviction {
+		opt.Channel = core.TimingWindow
+		res, err := attacks.RunTrainTestEviction(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpattack:", err)
+			os.Exit(1)
+		}
+		printCase(res)
+		return
+	}
+
+	if *variant != "" {
+		v, err := attacks.FindVariant(*variant)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpattack:", err)
+			os.Exit(1)
+		}
+		res, err := attacks.RunVariant(v, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpattack:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("pattern   : %s\n", v.Pattern)
+		printCase(res)
+		return
+	}
+
+	if *attackName == "" {
+		fmt.Fprintln(os.Stderr, "usage: vpattack -table3 | -attack <category> | -variant <pattern> [flags]")
+		os.Exit(2)
+	}
+	cat, err := findCategory(*attackName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpattack:", err)
+		os.Exit(1)
+	}
+	switch *channel {
+	case "timing-window":
+		opt.Channel = core.TimingWindow
+	case "persistent":
+		opt.Channel = core.Persistent
+	case "volatile":
+		opt.Channel = core.Volatile
+	default:
+		fmt.Fprintln(os.Stderr, "vpattack: unknown channel", *channel)
+		os.Exit(1)
+	}
+	if *noiseSweep {
+		pts, err := attacks.NoiseSweep(cat, []uint64{0, 12, 50, 100, 200, 400, 800}, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpattack:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("noise robustness of %s (%s):\n", cat, opt.Channel)
+		fmt.Printf("%10s  %8s  %8s\n", "jitter", "p", "success")
+		for _, p := range pts {
+			fmt.Printf("%10d  %8.4f  %7.1f%%\n", p.MemJitter, p.P, p.Success*100)
+		}
+		return
+	}
+	if *confSweep {
+		pts, err := attacks.ConfidenceSweep(cat, []int{2, 3, 4, 6, 8}, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpattack:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("confidence-threshold sweep of %s (%s):\n", cat, opt.Channel)
+		fmt.Printf("%10s  %8s  %10s\n", "confidence", "p", "rate")
+		for _, p := range pts {
+			fmt.Printf("%10d  %8.4f  %7.2f Kbps\n", p.Confidence, p.P, p.RateBps/1000)
+		}
+		return
+	}
+	res, err := attacks.Run(cat, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpattack:", err)
+		os.Exit(1)
+	}
+	printCase(res)
+}
+
+func findCategory(name string) (core.Category, error) {
+	for _, c := range core.Categories() {
+		if string(c) == name {
+			return c, nil
+		}
+	}
+	return "", fmt.Errorf("unknown attack %q; categories: %v", name, core.Categories())
+}
+
+func printCase(r attacks.CaseResult) {
+	mm := stats.Summarize(r.Mapped)
+	mu := stats.Summarize(r.Unmapped)
+	verdict := "NOT effective (p >= 0.05)"
+	if r.Effective() {
+		verdict = "EFFECTIVE (p < 0.05)"
+	}
+	fmt.Printf("attack    : %s over the %s channel\n", r.Category, r.Channel)
+	fmt.Printf("predictor : %s", r.Opt.Predictor)
+	if r.Opt.Defense.Active() {
+		fmt.Printf("  defense %+v", r.Opt.Defense)
+	}
+	fmt.Println()
+	fmt.Printf("mapped    : %.1f ± %.1f cycles (%d runs)\n", mm.Mean, mm.StdDev(), mm.N)
+	fmt.Printf("unmapped  : %.1f ± %.1f cycles (%d runs)\n", mu.Mean, mu.StdDev(), mu.N)
+	fmt.Printf("p-value   : %.4f  -> %s\n", r.P, verdict)
+	fmt.Printf("success   : %.1f%% per-bit classification\n", 100*r.SuccessRate)
+	fmt.Printf("tran. rate: %.2f Kbps (modeled at %.1f GHz, %gk-cycle sync epochs)\n",
+		r.RateBps/1000, r.Opt.ClockHz/1e9, r.Opt.SyncEpoch/1000)
+}
+
+func printTableIII(opt attacks.Options) error {
+	rows, err := attacks.TableIII(opt.Predictor, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Table III: attack evaluation, predictor = %s, %d runs per case\n\n", opt.Predictor, opt.Runs)
+	fmt.Printf("%-14s | %-28s | %-28s\n", "", "Timing-Window Channel", "Persistent Channel")
+	fmt.Printf("%-14s | %-8s  %-18s | %-8s  %-18s\n", "Attack Category", "No VP", "VP (Tran. Rate)", "No VP", "VP (Tran. Rate)")
+	for _, row := range rows {
+		tw := fmt.Sprintf("%.4f", row.TWNoVP.P)
+		twVP := fmt.Sprintf("%.4f (%.2fKbps)", row.TWVP.P, row.TWVP.RateBps/1000)
+		pers, persVP := "—", "—"
+		if row.HasPersistent {
+			pers = fmt.Sprintf("%.4f", row.PersNoVP.P)
+			persVP = fmt.Sprintf("%.4f (%.2fKbps)", row.PersVP.P, row.PersVP.RateBps/1000)
+		}
+		fmt.Printf("%-14s | %-8s  %-18s | %-8s  %-18s\n", row.Category, tw, twVP, pers, persVP)
+	}
+	fmt.Println("\np < 0.05 means the attack is effective (red in the paper).")
+	return nil
+}

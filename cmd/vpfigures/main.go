@@ -1,0 +1,173 @@
+// Command vpfigures regenerates the paper's evaluation figures as
+// ASCII plots and CSV series:
+//
+//	vpfigures -fig 5        # Train+Test timing distributions (4 panels)
+//	vpfigures -fig 7        # RSA e_bit iteration timing sequence
+//	vpfigures -fig 8        # Test+Hit timing distributions (4 panels)
+//	vpfigures -fig 5 -csv   # emit CSV instead of ASCII
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vpsec/internal/attacks"
+	"vpsec/internal/core"
+	"vpsec/internal/rsa"
+	"vpsec/internal/stats"
+)
+
+func main() {
+	var (
+		fig  = flag.Int("fig", 5, "figure to regenerate: 5, 7 or 8")
+		runs = flag.Int("runs", 100, "trials per case (paper: 100)")
+		seed = flag.Int64("seed", 1, "RNG seed")
+		csv  = flag.Bool("csv", false, "emit CSV series instead of ASCII plots")
+		svg  = flag.String("svg", "", "write SVG panels to files with this prefix (e.g. -svg fig5)")
+	)
+	flag.Parse()
+
+	var err error
+	switch *fig {
+	case 5:
+		err = distributionFigure(core.TrainTest, *runs, *seed, *csv, *svg)
+	case 8:
+		err = distributionFigure(core.TestHit, *runs, *seed, *csv, *svg)
+	case 7:
+		err = rsaFigure(*seed, *csv, *svg)
+	default:
+		err = fmt.Errorf("unknown figure %d (supported: 5, 7, 8)", *fig)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpfigures:", err)
+		os.Exit(1)
+	}
+}
+
+// distributionFigure renders the four panels of Fig. 5 (Train+Test) or
+// Fig. 8 (Test+Hit): {timing-window, persistent} × {no VP, LVP}.
+func distributionFigure(cat core.Category, runs int, seed int64, csv bool, svgPrefix string) error {
+	figName := "Fig. 5 (Train + Test)"
+	labels := []string{"mapped index", "unmapped index"}
+	if cat == core.TestHit {
+		figName = "Fig. 8 (Test + Hit)"
+		labels = []string{"mapped data", "unmapped data"}
+	}
+	fmt.Printf("%s: timing distributions over %d runs per case\n\n", figName, runs)
+	panel := 1
+	for _, ch := range []core.Channel{core.TimingWindow, core.Persistent} {
+		for _, pk := range []attacks.PredictorKind{attacks.NoVP, attacks.LVP} {
+			r, err := attacks.Run(cat, attacks.Options{
+				Predictor: pk, Channel: ch, Runs: runs, Seed: seed,
+			})
+			if err != nil {
+				return err
+			}
+			verdict := "attack NOT effective"
+			if r.Effective() {
+				verdict = "attack EFFECTIVE"
+			}
+			vpName := "no VP"
+			if pk != attacks.NoVP {
+				vpName = "LVP"
+			}
+			fmt.Printf("(%d) %s Channel (%s): pvalue=%.4f  [%s]\n", panel, channelTitle(ch), vpName, r.P, verdict)
+			hm, hu, err := r.Histograms(25)
+			if err != nil {
+				return err
+			}
+			if svgPrefix != "" {
+				title := fmt.Sprintf("%s Channel (%s): p=%.4f", channelTitle(ch), vpName, r.P)
+				doc := stats.HistogramSVG(hm, hu, title, labels[0], labels[1])
+				name := fmt.Sprintf("%s-panel%d.svg", svgPrefix, panel)
+				if err := os.WriteFile(name, []byte(doc), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", name)
+			}
+			if csv {
+				fmt.Print(stats.CSV(hm, hu))
+			} else {
+				fmt.Print(stats.RenderASCII(hm, hu, labels[0]+" (#)", labels[1]+" (*)", 30))
+			}
+			fmt.Println()
+			panel++
+		}
+	}
+	return nil
+}
+
+func channelTitle(ch core.Channel) string {
+	if ch == core.TimingWindow {
+		return "Timing-Window"
+	}
+	return "Persistent"
+}
+
+// rsaFigure renders Fig. 7: the receiver's per-iteration observation of
+// the modular-exponentiation victim, labeled with the true e_bit.
+func rsaFigure(seed int64, csv bool, svgPrefix string) error {
+	cfg := rsa.VictimConfig{
+		Base:     0x1234567,
+		Mod:      0x3b9aca07,
+		Exponent: 0b101100111010110111001011110011010110111001011010101, // 51 bits
+		ExpBits:  51,
+	}
+	res, err := rsa.Attack(cfg, rsa.AttackOptions{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 7: receiver's observation per modexp iteration (e_bit known)\n")
+	fmt.Printf("recovered %d/%d bits correctly (%.1f%%; paper: 95.7%%), rate %.2f Kbps (paper: 9.65 Kbps)\n",
+		int(res.BitSuccess*float64(res.Bits)+0.5), res.Bits, 100*res.BitSuccess, res.RateBps/1000)
+	fmt.Printf("victim result correct: %v; classifier threshold %.0f cycles\n\n", res.ResultOK, res.Threshold)
+	if svgPrefix != "" {
+		var pts []stats.SeriesPoint
+		for _, o := range res.Series {
+			pts = append(pts, stats.SeriesPoint{X: float64(o.Iter), Y: o.Cycles, Label: int(o.EBit)})
+		}
+		doc := stats.ScatterSVG(pts, "Receiver observation per modexp iteration", "e_bit=0", "e_bit=1")
+		name := svgPrefix + ".svg"
+		if err := os.WriteFile(name, []byte(doc), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", name)
+	}
+	if csv {
+		fmt.Println("iter,cycles,e_bit")
+		for _, o := range res.Series {
+			fmt.Printf("%d,%.0f,%d\n", o.Iter, o.Cycles, o.EBit)
+		}
+		return nil
+	}
+	lo, hi := res.Series[0].Cycles, res.Series[0].Cycles
+	for _, o := range res.Series {
+		if o.Cycles < lo {
+			lo = o.Cycles
+		}
+		if o.Cycles > hi {
+			hi = o.Cycles
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	for _, o := range res.Series {
+		pos := int((o.Cycles - lo) / span * 40)
+		bar := make([]byte, 42)
+		for i := range bar {
+			bar[i] = ' '
+		}
+		mark := byte('o') // e_bit = 0
+		if o.EBit == 1 {
+			mark = '*'
+		}
+		bar[pos+1] = mark
+		fmt.Printf("iter %2d %s %5.0f cycles (e_bit=%d)\n", o.Iter, string(bar), o.Cycles, o.EBit)
+	}
+	fmt.Println("\n  o = e_bit 0 (value-predicted pointer load, fast)")
+	fmt.Println("  * = e_bit 1 (pointer swap defeats the predictor, slow)")
+	return nil
+}

@@ -1,0 +1,125 @@
+// Covert channel demo: two processes that never share memory transmit
+// a message through the value predictor using the Train+Test attack of
+// Fig. 3, one bit per round.
+//
+// Per round, the receiver trains a known predictor index; the sender
+// retrains that index (bit 1) or an unrelated one (bit 0); the
+// receiver's trigger load then either mispredicts (slow -> 1) or
+// predicts correctly (fast -> 0).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"vpsec/internal/cpu"
+	"vpsec/internal/isa"
+	"vpsec/internal/mem"
+	"vpsec/internal/predictor"
+)
+
+const (
+	knownAddr  = 0x1000
+	secretAddr = 0x2000
+	depBase    = 0x4000
+	resultsat  = 0x8000
+	conf       = 4
+)
+
+// kernel builds a training/trigger loop whose in-loop load lands at
+// the same PC for both processes when skew is 0 (NOP padding otherwise,
+// like Fig. 3's receiver).
+func kernel(name string, target uint64, value uint64, iters, skew int) *isa.Program {
+	b := isa.NewBuilder(name)
+	b.Word(target, value)
+	b.PadTo(skew)
+	b.MovI(isa.R1, int64(target))
+	b.MovI(isa.R9, depBase)
+	b.MovI(isa.R10, resultsat)
+	b.MovI(isa.R3, 0)
+	b.MovI(isa.R4, int64(iters))
+	b.Label("loop")
+	b.Flush(isa.R1, 0)
+	b.Fence()
+	b.Rdtsc(isa.R20)
+	b.Load(isa.R2, isa.R1, 0) // the shared predictor index
+	// Value-dependent dependent load: overlaps the miss only when the
+	// predictor supplies the value (the timing-window amplifier).
+	b.AndI(isa.R5, isa.R2, 0x3f)
+	b.ShlI(isa.R5, isa.R5, 6) // one cache line per candidate value
+	b.Add(isa.R6, isa.R9, isa.R5)
+	b.Load(isa.R7, isa.R6, 0)
+	b.Fence()
+	b.Rdtsc(isa.R21)
+	b.Sub(isa.R22, isa.R21, isa.R20)
+	b.ShlI(isa.R11, isa.R3, 3)
+	b.Add(isa.R12, isa.R10, isa.R11)
+	b.Store(isa.R12, 0, isa.R22)
+	b.Flush(isa.R6, 0) // keep the dependent line cold for the next round
+	b.Fence()
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Blt(isa.R3, isa.R4, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func main() {
+	message := "VPS!"
+	fmt.Printf("transmitting %q through the value predictor (Train+Test)...\n\n", message)
+
+	lvp, err := predictor.NewLVP(predictor.LVPConfig{Confidence: conf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := cpu.NewMachine(cpu.Config{}, mem.DefaultHierarchy(), lvp, rand.New(rand.NewSource(42)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(pid uint64, prog *isa.Program, phys uint64) uint64 {
+		proc, err := m.NewProcess(pid, prog, phys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := m.Run(proc); err != nil {
+			log.Fatal(err)
+		}
+		return m.Hier.Mem.Peek(phys + resultsat) // iteration 0 timing
+	}
+
+	var decoded []byte
+	for _, ch := range []byte(message) {
+		var got byte
+		for bit := 7; bit >= 0; bit-- {
+			send := ch >> uint(bit) & 1
+
+			// 1) Receiver trains the known index with its own value.
+			run(2, kernel("train", knownAddr, 0x21, conf, 0), 1<<30)
+			// 2) Sender modifies: same index for a 1, skewed for a 0.
+			skew := 3
+			if send == 1 {
+				skew = 0
+			}
+			run(1, kernel("modify", secretAddr, 0x22, conf, skew), 0)
+			// 3) Receiver triggers and times the load.
+			dt := run(2, kernel("trigger", knownAddr, 0x21, 1, 0), 1<<30)
+
+			// 5) Decode: misprediction is slow.
+			rx := byte(0)
+			if dt > 250 {
+				rx = 1
+			}
+			got = got<<1 | rx
+		}
+		decoded = append(decoded, got)
+		fmt.Printf("  sent %q (%08b) -> received %q (%08b)\n", ch, ch, got, got)
+	}
+
+	fmt.Printf("\ndecoded message: %q\n", decoded)
+	if string(decoded) == message {
+		fmt.Println("channel intact: every bit crossed the process boundary via the VPS.")
+	} else {
+		fmt.Println("bit errors occurred (try a different seed or more training).")
+	}
+}

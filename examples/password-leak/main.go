@@ -1,0 +1,161 @@
+// Password leak demo: byte-granular secret extraction through a
+// data-address-indexed value predictor (the paper's second predictor
+// indexing scheme, Sec. II).
+//
+// The victim is a password checker that loops over its secret bytes —
+// each iteration loads secret[i] and compares. With a data-address-
+// indexed VPS, every secret byte gets its own predictor entry, trained
+// simply by the victim running a few times. The attacker then loads
+// *its own* copy of each virtual address (virtual indexing means the
+// index collides), receives the victim's byte as a transient
+// prediction, encodes it into a 256-line probe array Spectre-style,
+// and reloads — recovering the password byte by byte without ever
+// reading the victim's memory.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"vpsec/internal/cpu"
+	"vpsec/internal/isa"
+	"vpsec/internal/mem"
+	"vpsec/internal/predictor"
+)
+
+const (
+	secretBase = 0x1000  // victim's secret bytes (one word per byte)
+	inputBase  = 0x3000  // the guess being checked
+	probeBase  = 0x40000 // attacker's probe array: 256 lines
+	okFlag     = 0x5000
+)
+
+// victimProgram checks `length` bytes of the password, loading each
+// secret byte through one load whose data address walks the secret.
+func victimProgram(secret []byte) *isa.Program {
+	b := isa.NewBuilder("password-check")
+	for i, by := range secret {
+		b.Word(secretBase+uint64(8*i), uint64(by))
+		b.Word(inputBase+uint64(8*i), uint64(by)) // the victim checks some input
+	}
+	b.MovI(isa.R1, secretBase)
+	b.MovI(isa.R2, inputBase)
+	b.MovI(isa.R3, 0)
+	b.MovI(isa.R4, int64(len(secret)))
+	b.MovI(isa.R7, 1) // assume match
+	b.Label("loop")
+	b.Flush(isa.R1, 0) // the attacker keeps the secret out of the cache
+	b.Fence()
+	b.Load(isa.R5, isa.R1, 0) // secret[i]: one VPS entry per address
+	b.Load(isa.R6, isa.R2, 0) // input[i]
+	b.Beq(isa.R5, isa.R6, "match")
+	b.MovI(isa.R7, 0)
+	b.Label("match")
+	b.AddI(isa.R1, isa.R1, 8)
+	b.AddI(isa.R2, isa.R2, 8)
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Blt(isa.R3, isa.R4, "loop")
+	b.MovI(isa.R8, okFlag)
+	b.Store(isa.R8, 0, isa.R7)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// attackerProgram triggers the predictor entry for one secret byte's
+// virtual address and transiently encodes the predicted value into the
+// probe array.
+func attackerProgram(byteIdx int) *isa.Program {
+	b := isa.NewBuilder("extract-byte")
+	addr := secretBase + uint64(8*byteIdx)
+	b.Word(addr, 0) // the attacker's own (zero) copy of that address
+	b.MovI(isa.R1, int64(addr))
+	b.MovI(isa.R9, probeBase)
+	b.Flush(isa.R1, 0)
+	b.Fence()
+	b.Load(isa.R2, isa.R1, 0)    // miss -> VPS predicts the victim's byte
+	b.AndI(isa.R5, isa.R2, 0xff) // transient: index the probe array
+	b.ShlI(isa.R5, isa.R5, 6)
+	b.Add(isa.R6, isa.R9, isa.R5)
+	b.Load(isa.R7, isa.R6, 0) // encode
+	b.Fence()
+	b.Halt()
+	return b.MustBuild()
+}
+
+func main() {
+	secret := []byte("vps!leak")
+	fmt.Printf("victim's password: %q (%d bytes)\n", secret, len(secret))
+	fmt.Println("predictor: LVP indexed by DATA ADDRESS (Sec. II's second scheme)")
+	fmt.Println()
+
+	lvp, err := predictor.NewLVP(predictor.LVPConfig{
+		Confidence: 4,
+		Scheme:     predictor.ByDataAddr,
+		Entries:    1024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := cpu.NewMachine(cpu.Config{}, mem.DefaultHierarchy(), lvp, rand.New(rand.NewSource(7)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1) Train: the victim checks passwords a few times (its normal
+	// operation); every secret byte's address gains a confident entry.
+	victim, err := m.NewProcess(1, victimProgram(secret), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i <= 4; i++ {
+		if _, err := m.Run(victim); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("victim ran 5 times; VPS now holds %d trained entries\n\n", lvp.Len())
+
+	// 2+3) Trigger and decode, one byte position at a time.
+	recovered := make([]byte, len(secret))
+	attackerPhys := uint64(1) << 30
+	for i := range secret {
+		prog := attackerProgram(i)
+		proc, err := m.NewProcess(2, prog, attackerPhys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Evict the probe array, trigger, then reload-probe all lines.
+		for v := uint64(0); v < 256; v++ {
+			m.Hier.Flush(attackerPhys + probeBase + v*64)
+		}
+		if _, err := m.Run(proc); err != nil {
+			log.Fatal(err)
+		}
+		best, bestCached := byte(0), false
+		for v := uint64(0); v < 256; v++ {
+			if m.Hier.Cached(attackerPhys + probeBase + v*64) {
+				// Ignore the architectural access of value 0 (the
+				// attacker's own copy holds 0).
+				if v == 0 {
+					continue
+				}
+				best, bestCached = byte(v), true
+			}
+		}
+		if bestCached {
+			recovered[i] = best
+		} else {
+			recovered[i] = '?'
+		}
+		fmt.Printf("byte %d: probe hit -> %q\n", i, recovered[i])
+	}
+
+	fmt.Printf("\nrecovered password: %q\n", recovered)
+	if string(recovered) == string(secret) {
+		fmt.Println("full secret extracted through the value predictor alone:")
+		fmt.Println("the attacker never read the victim's memory — it read its")
+		fmt.Println("own addresses and harvested the predictions.")
+	} else {
+		fmt.Println("(partial recovery; rerun with a different seed)")
+	}
+}

@@ -1,0 +1,152 @@
+// Spectre-VP demo: the right-hand side of the paper's Fig. 2 taxonomy
+// — a value predictor used as part of a regular transient-execution
+// attack. This is a bounds-check bypass like Spectre v1, but the
+// branch predictor is never mistrained: the *bound itself* is a loaded
+// value, the VPS keeps predicting its stale (large) copy after the
+// array shrinks, and the perfectly-predicted branch lets an
+// out-of-bounds read run transiently and encode a secret into the
+// cache.
+//
+//	len := load(&len)          // VPS predicts the stale length
+//	if i < len {               // branch is architecturally correct...
+//	    x := a[i]              // ...but transiently executes i >= real len
+//	    _ = probe[x*64]        // classic Spectre encode
+//	}
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"vpsec/internal/cpu"
+	"vpsec/internal/isa"
+	"vpsec/internal/mem"
+	"vpsec/internal/predictor"
+)
+
+const (
+	lenAddr   = 0x1000
+	arrayBase = 0x2000  // a[i] at arrayBase + 8*i
+	secretIdx = 8       // the out-of-bounds slot the attacker targets
+	probeAt   = 0x40000 // 64 probe lines
+	oldLen    = 16
+	newLen    = 1 // the array shrinks; slot 8 is now out of bounds
+)
+
+// victim builds the bounds-checked accessor: called repeatedly with
+// in-bounds indices (training), then once with the out-of-bounds
+// index after the length shrinks.
+func victim(indices []uint64) *isa.Program {
+	b := isa.NewBuilder("bounds-checked-read")
+	b.Word(lenAddr, oldLen)
+	for i := 0; i < oldLen; i++ {
+		b.Word(arrayBase+uint64(8*i), uint64(i%7)) // boring public data
+	}
+	b.Word(arrayBase+8*secretIdx, 42) // the secret beyond the new bound
+	// The per-call indices live in a little input array.
+	for i, idx := range indices {
+		b.Word(0x6000+uint64(8*i), idx)
+	}
+	b.MovI(isa.R1, lenAddr)
+	b.MovI(isa.R2, arrayBase)
+	b.MovI(isa.R9, probeAt)
+	b.MovI(isa.R10, 0x6000)
+	b.MovI(isa.R3, 0)
+	b.MovI(isa.R4, int64(len(indices)))
+	b.Label("call")
+	b.ShlI(isa.R11, isa.R3, 3)
+	b.Add(isa.R11, isa.R10, isa.R11)
+	b.Load(isa.R12, isa.R11, 0) // i = indices[c]
+	b.Flush(isa.R1, 0)          // the length is cold (attacker-forced or natural)
+	b.Fence()
+	b.Load(isa.R5, isa.R1, 0) // len: the VALUE-PREDICTED bound
+	b.Blt(isa.R12, isa.R5, "body")
+	b.Jmp("skip")
+	// The body sits on the TAKEN path: fetch cannot reach it until the
+	// bounds branch resolves, and resolving needs the bound. With a
+	// value prediction the branch resolves ~160 cycles early on the
+	// stale bound and the body runs transiently; without one, the real
+	// bound arrives with the miss and the body never executes.
+	b.Label("body")
+	b.ShlI(isa.R6, isa.R12, 3)
+	b.Add(isa.R6, isa.R2, isa.R6)
+	b.Load(isa.R7, isa.R6, 0) // x = a[i]
+	b.AndI(isa.R8, isa.R7, 0x3f)
+	b.ShlI(isa.R8, isa.R8, 6)
+	b.Add(isa.R8, isa.R9, isa.R8)
+	b.Load(isa.R13, isa.R8, 0) // probe[x]: the Spectre encode
+	b.Label("skip")
+	b.Fence()
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Blt(isa.R3, isa.R4, "call")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func main() {
+	fmt.Println("Spectre without branch mistraining: the value predictor")
+	fmt.Println("supplies a stale bound, the branch predictor stays honest.")
+	fmt.Println()
+
+	lvp, err := predictor.NewLVP(predictor.LVPConfig{Confidence: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := cpu.NewMachine(cpu.Config{}, mem.DefaultHierarchy(), lvp, rand.New(rand.NewSource(5)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Training calls: all in bounds, the length loads miss (cold) and
+	// train the VPS on oldLen.
+	indices := []uint64{1, 2, 3, 4, secretIdx}
+	prog := victim(indices)
+	proc, err := m.NewProcess(1, prog, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each call's length load misses (flushed) and observes oldLen, so
+	// after four calls the VPS entry is confident.
+	if _, err := m.Run(proc); err != nil {
+		log.Fatal(err)
+	}
+	// After training, shrink and call again with the OOB index.
+	m.Hier.Mem.Write(0+lenAddr, newLen)
+	m.Hier.Flush(0 + lenAddr)
+	for v := uint64(0); v < 64; v++ {
+		m.Hier.Flush(0 + probeAt + v*64)
+	}
+	oob := victim([]uint64{secretIdx})
+	proc2, err := m.NewProcess(1, oob, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// NewProcess re-writes initial data; restore the shrunken length.
+	m.Hier.Mem.Write(0+lenAddr, newLen)
+	m.Hier.Flush(0 + lenAddr)
+	res, err := m.Run(proc2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("out-of-bounds call: %d prediction(s), %d misprediction squash(es)\n",
+		res.Predictions, res.VerifyWrong)
+
+	// Decode: which probe line did the transient body touch?
+	leaked := -1
+	for v := uint64(0); v < 64; v++ {
+		if m.Hier.Cached(0 + probeAt + v*64) {
+			leaked = int(v)
+		}
+	}
+	fmt.Printf("probe scan: line %d is hot\n", leaked)
+	secret := m.Hier.Mem.Peek(arrayBase + 8*secretIdx)
+	if leaked == int(secret&0x3f) {
+		fmt.Printf("\nleaked a[%d] = %d through the bounds check: the branch was\n", secretIdx, leaked)
+		fmt.Println("architecturally correct — only the value-predicted bound lied.")
+	} else {
+		fmt.Println("\nno leak observed (try another seed)")
+	}
+}

@@ -1,0 +1,3 @@
+module vpsec
+
+go 1.22

@@ -1,0 +1,295 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"vpsec/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := Assemble("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func run(t *testing.T, p *isa.Program) *isa.Interp {
+	t.Helper()
+	it := isa.NewInterp(p)
+	if _, err := it.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	return it
+}
+
+func TestAssembleLoop(t *testing.T) {
+	p := mustAssemble(t, `
+; sum 1..10
+        movi r1, 0      ; i
+        movi r2, 0      ; sum
+        movi r3, 10
+loop:   addi r1, r1, 1
+        add  r2, r2, r1
+        blt  r1, r3, loop
+        halt
+`)
+	it := run(t, p)
+	if it.Regs[isa.R2] != 55 {
+		t.Errorf("sum = %d, want 55", it.Regs[isa.R2])
+	}
+}
+
+func TestAssembleEquAndWord(t *testing.T) {
+	p := mustAssemble(t, `
+.equ  arr 0x1000
+.equ  stride 8
+.word arr, 42
+.word 0x1008, 99
+        movi r1, arr
+        load r2, r1, 0
+        load r3, r1, stride
+        halt
+`)
+	it := run(t, p)
+	if it.Regs[isa.R2] != 42 || it.Regs[isa.R3] != 99 {
+		t.Errorf("r2=%d r3=%d, want 42 99", it.Regs[isa.R2], it.Regs[isa.R3])
+	}
+}
+
+func TestAssembleAllMnemonics(t *testing.T) {
+	src := `
+.equ base 0x2000
+.word base, 7
+start:  nop
+        movi  r1, base
+        movi  r2, 3
+        load  r3, r1, 0     ; 7
+        add   r4, r3, r2    ; 10
+        sub   r5, r3, r2    ; 4
+        mul   r6, r3, r2    ; 21
+        mulhu r7, r3, r2    ; 0
+        divu  r8, r3, r2    ; 2
+        remu  r9, r3, r2    ; 1
+        and   r10, r3, r2   ; 3
+        or    r11, r3, r2   ; 7
+        xor   r12, r3, r2   ; 4
+        addi  r13, r3, -1   ; 6
+        andi  r14, r3, 0x4  ; 4
+        shli  r15, r3, 1    ; 14
+        shri  r16, r3, 1    ; 3
+        mov   r17, r3       ; 7
+        store r1, 8, r4
+        load  r18, r1, 8    ; 10
+        flush r1, 0
+        fence
+        rdtsc r19
+        beq   r0, r0, over
+        movi  r20, 1
+over:   bne   r3, r2, over2
+        movi  r21, 1
+over2:  blt   r2, r3, over3
+        movi  r22, 1
+over3:  bge   r3, r2, done
+        movi  r23, 1
+done:   jmp   end
+        movi  r24, 1
+end:    halt
+`
+	p := mustAssemble(t, src)
+	it := run(t, p)
+	want := map[isa.Reg]uint64{
+		isa.R4: 10, isa.R5: 4, isa.R6: 21, isa.R7: 0, isa.R8: 2,
+		isa.R9: 1, isa.R10: 3, isa.R11: 7, isa.R12: 4, isa.R13: 6,
+		isa.R14: 4, isa.R15: 14, isa.R16: 3, isa.R17: 7, isa.R18: 10,
+		isa.R20: 0, isa.R21: 0, isa.R22: 0, isa.R23: 0, isa.R24: 0,
+	}
+	for r, w := range want {
+		if it.Regs[r] != w {
+			t.Errorf("%v = %d, want %d", r, it.Regs[r], w)
+		}
+	}
+	if it.Regs[isa.R19] == 0 {
+		t.Error("rdtsc returned 0")
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	p := mustAssemble(t, "movi r1, 1 # hash comment\nhalt ; semicolon comment\n")
+	if len(p.Code) != 2 {
+		t.Errorf("code len = %d, want 2", len(p.Code))
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "frobnicate r1\nhalt", "unknown mnemonic"},
+		{"bad register", "movi r99, 1\nhalt", "bad register"},
+		{"bad immediate", "movi r1, zzz\nhalt", "bad immediate"},
+		{"undefined label", "jmp nowhere\nhalt", "undefined label"},
+		{"duplicate label", "a: nop\na: nop\nhalt", "duplicate label"},
+		{"wrong operand count", "add r1, r2\nhalt", "needs 3 operands"},
+		{"no halt", "nop", "no HALT"},
+		{"bad equ", ".equ x\nhalt", ".equ needs"},
+		{"duplicate equ", ".equ x 1\n.equ x 2\nhalt", "duplicate symbol"},
+		{"bad word", ".word 1\nhalt", ".word needs"},
+		{"empty label", ": nop\nhalt", "bad label"},
+		{"label symbol collision", ".equ a 1\na: nop\nhalt", "collides"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble("t", c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error = %v, want substring %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestAssembleErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("t", "nop\nnop\nbadop r1\nhalt")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error = %v, want line 3", err)
+	}
+}
+
+func TestAssembleNegativeAndHexImmediates(t *testing.T) {
+	p := mustAssemble(t, `
+        movi r1, -5
+        movi r2, 0xff
+        addi r3, r2, -0x0f
+        halt
+`)
+	it := run(t, p)
+	if int64(it.Regs[isa.R1]) != -5 {
+		t.Errorf("r1 = %d, want -5", int64(it.Regs[isa.R1]))
+	}
+	if it.Regs[isa.R2] != 255 || it.Regs[isa.R3] != 240 {
+		t.Errorf("r2=%d r3=%d", it.Regs[isa.R2], it.Regs[isa.R3])
+	}
+}
+
+func TestAssembleForwardBranch(t *testing.T) {
+	p := mustAssemble(t, `
+        beq r0, r0, skip
+        movi r1, 1
+skip:   halt
+`)
+	it := run(t, p)
+	if it.Regs[isa.R1] != 0 {
+		t.Error("forward branch not taken")
+	}
+}
+
+func TestAssembleLabelOnOwnLine(t *testing.T) {
+	p := mustAssemble(t, `
+top:
+        nop
+        jmp bottom
+bottom:
+        halt
+`)
+	if p.Code[1].Target != 2 {
+		t.Errorf("jmp target = %d, want 2", p.Code[1].Target)
+	}
+}
+
+// Round-trip: assembling the disassembly-equivalent source of a built
+// program yields the same instruction sequence.
+func TestAssemblerMatchesBuilder(t *testing.T) {
+	built := isa.NewBuilder("b").
+		MovI(isa.R1, 0x1000).
+		Load(isa.R2, isa.R1, 0).
+		AddI(isa.R2, isa.R2, 1).
+		Store(isa.R1, 0, isa.R2).
+		Flush(isa.R1, 0).
+		Fence().
+		Rdtsc(isa.R3).
+		Halt().
+		MustBuild()
+	asmd := mustAssemble(t, `
+        movi  r1, 0x1000
+        load  r2, r1, 0
+        addi  r2, r2, 1
+        store r1, 0, r2
+        flush r1, 0
+        fence
+        rdtsc r3
+        halt
+`)
+	if len(built.Code) != len(asmd.Code) {
+		t.Fatalf("lengths differ: %d vs %d", len(built.Code), len(asmd.Code))
+	}
+	for i := range built.Code {
+		if built.Code[i] != asmd.Code[i] {
+			t.Errorf("instr %d: builder %v vs asm %v", i, built.Code[i], asmd.Code[i])
+		}
+	}
+}
+
+func TestAssembleCallReturn(t *testing.T) {
+	p := mustAssemble(t, `
+        movi r1, 21
+        jal  r31, dbl
+        mov  r2, r1
+        halt
+dbl:    add  r1, r1, r1
+        jalr r0, r31
+`)
+	it := run(t, p)
+	if it.Regs[isa.R2] != 42 {
+		t.Errorf("r2 = %d, want 42", it.Regs[isa.R2])
+	}
+	// Round-trip through the formatter.
+	back, err := Assemble("rt", Format(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Code {
+		if p.Code[i] != back.Code[i] {
+			t.Errorf("instr %d: %v vs %v", i, p.Code[i], back.Code[i])
+		}
+	}
+}
+
+func TestAssembleMoreErrorPaths(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"jal bad reg", "jal r99, l\nl: halt", "bad register"},
+		{"jal missing label", "jal r1, nowhere\nhalt", "undefined label"},
+		{"jalr bad reg", "jalr r1, r99\nhalt", "bad register"},
+		{"mov bad reg", "mov r1, rX\nhalt", "bad register"},
+		{"rdtsc bad reg", "rdtsc r99\nhalt", "bad register"},
+		{"load bad base", "load r1, zz, 0\nhalt", "bad register"},
+		{"load bad imm", "load r1, r2, qq\nhalt", "bad immediate"},
+		{"store bad base", "store zz, 0, r1\nhalt", "bad base register"},
+		{"store bad imm", "store r1, qq, r2\nhalt", "bad immediate"},
+		{"store bad src", "store r1, 0, zz\nhalt", "bad source register"},
+		{"flush bad reg", "flush zz, 0\nhalt", "bad register"},
+		{"flush bad imm", "flush r1, qq\nhalt", "bad immediate"},
+		{"branch bad reg", "beq zz, r1, l\nl: halt", "bad register"},
+		{"branch missing label", "beq r1, r2, nope\nhalt", "undefined label"},
+		{"movi bad dst", "movi rr, 1\nhalt", "bad register"},
+		{"addi bad imm", "addi r1, r2, zz\nhalt", "bad immediate"},
+		{"regform bad reg", "add r1, r2, zz\nhalt", "bad register"},
+		{"word bad addr", ".word zz, 1\nhalt", "bad immediate"},
+		{"equ bad value", ".equ a zz\nhalt", "bad immediate"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble("t", c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error = %v, want substring %q", err, c.wantSub)
+			}
+		})
+	}
+}

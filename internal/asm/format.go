@@ -1,0 +1,82 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vpsec/internal/isa"
+)
+
+// Format renders a program as assembler-compatible source: branch
+// targets become generated labels, initial data words become .word
+// directives, and every instruction uses the mnemonics Assemble
+// accepts. Format(Assemble(src)) and Assemble(Format(prog)) round-trip
+// to the same instruction sequence, so generated attack programs (the
+// builders in internal/attacks and internal/rsa) can be dumped,
+// inspected and replayed through cmd/vpsim.
+func Format(p *isa.Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; %s — %d instructions\n", p.Name, len(p.Code))
+
+	// Deterministic .word order.
+	addrs := make([]uint64, 0, len(p.Data))
+	for a := range p.Data {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		fmt.Fprintf(&sb, ".word 0x%x, 0x%x\n", a, p.Data[a])
+	}
+
+	// Label every branch target.
+	labels := map[int]string{}
+	for _, in := range p.Code {
+		if in.Op.IsBranch() {
+			if _, ok := labels[in.Target]; !ok {
+				labels[in.Target] = fmt.Sprintf("L%d", in.Target)
+			}
+		}
+	}
+
+	for i, in := range p.Code {
+		if l, ok := labels[i]; ok {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		fmt.Fprintf(&sb, "        %s\n", formatInstr(in, labels))
+	}
+	return sb.String()
+}
+
+func formatInstr(in isa.Instr, labels map[int]string) string {
+	switch in.Op {
+	case isa.NOP, isa.HALT, isa.FENCE:
+		return in.Op.String()
+	case isa.MOVI:
+		return fmt.Sprintf("movi %s, %d", in.Dst, in.Imm)
+	case isa.MOV:
+		return fmt.Sprintf("mov %s, %s", in.Dst, in.Src1)
+	case isa.ADD, isa.SUB, isa.MUL, isa.MULHU, isa.DIVU, isa.REMU,
+		isa.AND, isa.OR, isa.XOR, isa.SLTU:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Dst, in.Src1, in.Src2)
+	case isa.ADDI, isa.ANDI, isa.SHLI, isa.SHRI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Dst, in.Src1, in.Imm)
+	case isa.LOAD:
+		return fmt.Sprintf("load %s, %s, %d", in.Dst, in.Src1, in.Imm)
+	case isa.STORE:
+		return fmt.Sprintf("store %s, %d, %s", in.Src1, in.Imm, in.Src2)
+	case isa.FLUSH:
+		return fmt.Sprintf("flush %s, %d", in.Src1, in.Imm)
+	case isa.RDTSC:
+		return fmt.Sprintf("rdtsc %s", in.Dst)
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Src1, in.Src2, labels[in.Target])
+	case isa.JMP:
+		return fmt.Sprintf("jmp %s", labels[in.Target])
+	case isa.JAL:
+		return fmt.Sprintf("jal %s, %s", in.Dst, labels[in.Target])
+	case isa.JALR:
+		return fmt.Sprintf("jalr %s, %s", in.Dst, in.Src1)
+	}
+	return "; unknown " + in.Op.String()
+}

@@ -1,0 +1,156 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vpsec/internal/isa"
+	"vpsec/internal/rsa"
+)
+
+func TestFormatRoundTrip(t *testing.T) {
+	src := `
+.equ  base 0x1000
+.word base, 42
+start:  movi r1, base
+        load r2, r1, 0
+        addi r3, r2, -1
+        store r1, 8, r3
+        flush r1, 0
+        fence
+        rdtsc r4
+        sltu r5, r3, r2
+        beq r5, r0, done
+        jmp start
+done:   halt
+`
+	p1 := mustAssemble(t, src)
+	p2, err := Assemble("roundtrip", Format(p1))
+	if err != nil {
+		t.Fatalf("re-assembly failed: %v\n%s", err, Format(p1))
+	}
+	if len(p1.Code) != len(p2.Code) {
+		t.Fatalf("lengths differ: %d vs %d", len(p1.Code), len(p2.Code))
+	}
+	for i := range p1.Code {
+		if p1.Code[i] != p2.Code[i] {
+			t.Errorf("instr %d: %v vs %v", i, p1.Code[i], p2.Code[i])
+		}
+	}
+	for a, v := range p1.Data {
+		if p2.Data[a] != v {
+			t.Errorf("data[%#x]: %d vs %d", a, v, p2.Data[a])
+		}
+	}
+}
+
+// TestFormatGeneratedVictim dumps the builder-generated RSA victim and
+// reassembles it: all generator output must be expressible in the text
+// syntax.
+func TestFormatGeneratedVictim(t *testing.T) {
+	prog, err := rsa.BuildVictim(rsa.VictimConfig{Base: 3, Mod: 1000003, Exponent: 0xA5, ExpBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Assemble("victim", Format(prog))
+	if err != nil {
+		t.Fatalf("victim did not re-assemble: %v", err)
+	}
+	if len(back.Code) != len(prog.Code) {
+		t.Fatalf("lengths differ: %d vs %d", len(back.Code), len(prog.Code))
+	}
+	for i := range prog.Code {
+		if prog.Code[i] != back.Code[i] {
+			t.Fatalf("instr %d differs: %v vs %v", i, prog.Code[i], back.Code[i])
+		}
+	}
+	// The round-tripped victim still computes the same result.
+	it1 := isa.NewInterp(prog)
+	if _, err := it1.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	it2 := isa.NewInterp(back)
+	if _, err := it2.Run(back); err != nil {
+		t.Fatal(err)
+	}
+	if it1.Mem[rsa.ResultAddr] != it2.Mem[rsa.ResultAddr] {
+		t.Error("round-tripped victim computes a different result")
+	}
+}
+
+func TestFormatNegativeImmediates(t *testing.T) {
+	p := isa.NewBuilder("neg").
+		MovI(isa.R1, -5).
+		AddI(isa.R2, isa.R1, -100).
+		Halt().
+		MustBuild()
+	out := Format(p)
+	if !strings.Contains(out, "movi r1, -5") || !strings.Contains(out, "addi r2, r1, -100") {
+		t.Errorf("negative immediates mangled:\n%s", out)
+	}
+	if _, err := Assemble("neg", out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random valid programs round-trip Format -> Assemble to the
+// identical instruction sequence.
+func TestPropertyFormatRoundTrip(t *testing.T) {
+	ops := []func(b *isa.Builder, r *rand.Rand){
+		func(b *isa.Builder, r *rand.Rand) { b.Nop() },
+		func(b *isa.Builder, r *rand.Rand) { b.MovI(reg(r), r.Int63n(1<<30)-1<<29) },
+		func(b *isa.Builder, r *rand.Rand) { b.Add(reg(r), reg(r), reg(r)) },
+		func(b *isa.Builder, r *rand.Rand) { b.Mul(reg(r), reg(r), reg(r)) },
+		func(b *isa.Builder, r *rand.Rand) { b.SltU(reg(r), reg(r), reg(r)) },
+		func(b *isa.Builder, r *rand.Rand) { b.AddI(reg(r), reg(r), r.Int63n(1000)-500) },
+		func(b *isa.Builder, r *rand.Rand) { b.ShlI(reg(r), reg(r), r.Int63n(64)) },
+		func(b *isa.Builder, r *rand.Rand) { b.Load(reg(r), reg(r), r.Int63n(64)*8) },
+		func(b *isa.Builder, r *rand.Rand) { b.Store(reg(r), r.Int63n(64)*8, reg(r)) },
+		func(b *isa.Builder, r *rand.Rand) { b.Flush(reg(r), 0) },
+		func(b *isa.Builder, r *rand.Rand) { b.Fence() },
+		func(b *isa.Builder, r *rand.Rand) { b.Rdtsc(reg(r)) },
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := isa.NewBuilder("fuzz")
+		n := 5 + r.Intn(40)
+		for i := 0; i < n; i++ {
+			ops[r.Intn(len(ops))](b, r)
+		}
+		// A couple of branches over the emitted region.
+		b.Label("tail")
+		b.Beq(reg(r), reg(r), "tail2")
+		b.Jmp("tail")
+		b.Label("tail2")
+		b.Halt()
+		prog, err := b.Build()
+		if err != nil {
+			return false
+		}
+		back, err := Assemble("fuzz", Format(prog))
+		if err != nil {
+			return false
+		}
+		if len(back.Code) != len(prog.Code) {
+			return false
+		}
+		for i := range prog.Code {
+			if prog.Code[i] != back.Code[i] {
+				return false
+			}
+		}
+		for a, v := range prog.Data {
+			if back.Data[a] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func reg(r *rand.Rand) isa.Reg { return isa.Reg(1 + r.Intn(31)) }

@@ -1,0 +1,67 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"vpsec/internal/isa"
+)
+
+// FuzzAssemble exercises the assembler against arbitrary input: it
+// must never panic, and anything it accepts must validate, format, and
+// re-assemble to the same program.
+func FuzzAssemble(f *testing.F) {
+	f.Add("movi r1, 1\nhalt\n")
+	f.Add(".equ x 0x10\n.word x, 5\nl: load r2, r1, x\nbne r2, r0, l\nhalt")
+	f.Add("jal r31, f\nhalt\nf: jalr r0, r31")
+	f.Add("; comment\n\tsltu r3, r1, r2  # trailing\nhalt")
+	f.Add(": bad")
+	f.Add(".word\nhalt")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble("fuzz", src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("accepted program fails validation: %v", err)
+		}
+		back, err := Assemble("fuzz2", Format(prog))
+		if err != nil {
+			t.Fatalf("formatted output does not re-assemble: %v\n%s", err, Format(prog))
+		}
+		if len(back.Code) != len(prog.Code) {
+			t.Fatalf("round-trip length changed: %d -> %d", len(prog.Code), len(back.Code))
+		}
+		for i := range prog.Code {
+			if prog.Code[i] != back.Code[i] {
+				t.Fatalf("round-trip instruction %d changed: %v -> %v", i, prog.Code[i], back.Code[i])
+			}
+		}
+	})
+}
+
+// FuzzInterp runs accepted programs on the golden interpreter with a
+// small step budget: no panics allowed, bounded termination enforced.
+func FuzzInterp(f *testing.F) {
+	f.Add("movi r1, 5\nl: addi r1, r1, -1\nbne r1, r0, l\nhalt")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		it := isa.NewInterp(prog)
+		_, _ = it.Run(prog) // errors (step bound, wild jalr) are fine
+	})
+}
+
+// TestFuzzSeedsPass keeps the seed corpus honest under plain `go test`.
+func TestFuzzSeedsPass(t *testing.T) {
+	for _, src := range []string{
+		"movi r1, 1\nhalt\n",
+		"jal r31, f\nhalt\nf: jalr r0, r31",
+	} {
+		if _, err := Assemble("seed", src); err != nil {
+			t.Errorf("seed %q rejected: %v", strings.Split(src, "\n")[0], err)
+		}
+	}
+}

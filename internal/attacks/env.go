@@ -1,0 +1,276 @@
+// Package attacks implements the six value-predictor attack categories
+// of Table II as executable sender/receiver programs on the simulator,
+// plus the measurement harness that reproduces the paper's evaluation:
+// timing distributions (Figs. 5 and 8), p-value attack decisions, and
+// transmission rates (Table III).
+package attacks
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vpsec/internal/core"
+	"vpsec/internal/cpu"
+	"vpsec/internal/mem"
+	"vpsec/internal/predictor"
+)
+
+// PredictorKind selects the VPS implementation under attack.
+type PredictorKind string
+
+// Predictor kinds. OracleLVP/OracleVTAGE restrict predictions to the
+// attacked load's PC, as in the paper's experimental setup.
+const (
+	NoVP        PredictorKind = "none"
+	LVP         PredictorKind = "lvp"
+	VTAGE       PredictorKind = "vtage"
+	Stride      PredictorKind = "stride"
+	Stride2D    PredictorKind = "stride-2d"
+	FCM         PredictorKind = "fcm"
+	OracleLVP   PredictorKind = "oracle-lvp"
+	OracleVTAGE PredictorKind = "oracle-vtage"
+)
+
+// DefenseConfig selects the Sec. VI defenses applied to the predictor
+// and pipeline.
+type DefenseConfig struct {
+	AType      bool // always predict (history value, else fixed)
+	AFixedOnly bool // A-type predicts the fixed value unconditionally
+	RWindow    int  // R-type window size S; <= 1 disables
+	DType      bool // delay side-effects until commit
+
+	// FlushOnSwitch models the OS flushing the whole VPS at every
+	// context switch (the partitioning/flushing mitigation class the
+	// paper's Sec. V-B discussion motivates). Unlike pid indexing it
+	// needs no extra tag bits and also stops attackers who can spoof or
+	// share a pid — but the victim retrains from scratch after every
+	// switch, and purely same-process (internal-interference) attacks
+	// are untouched.
+	FlushOnSwitch bool
+}
+
+// Active reports whether any defense is enabled.
+func (d DefenseConfig) Active() bool {
+	return d.AType || d.RWindow > 1 || d.DType || d.FlushOnSwitch
+}
+
+// Options parameterizes one attack evaluation.
+type Options struct {
+	Predictor  PredictorKind
+	Confidence int // the paper's confidence number; 0 means 4
+	Channel    core.Channel
+	Defense    DefenseConfig
+	Runs       int   // trials per case; 0 means 100 (as in the paper)
+	Seed       int64 // base RNG seed; trials use Seed+trial
+	UsePID     bool  // index the predictor with the pid (Sec. V-B ablation)
+	Prefetch   bool  // enable the next-line prefetcher ablation
+	Replay     bool  // selective-replay recovery instead of full squash
+
+	// FPC, when > 1, gives the LVP/VTAGE under attack forward-
+	// probabilistic confidence counters (increment rate 1/FPC, as in
+	// the VTAGE paper). Training then succeeds only stochastically: the
+	// paper's minimal confidence-count training usually fails, and a
+	// reliable attack needs roughly FPC times more training accesses
+	// (pair with TrainIters; see the FPC ablation test).
+	FPC int
+
+	// TrainIters overrides the number of accesses in each trial's
+	// *training* step (0 means the confidence number, the paper's
+	// minimum). Modify/retrain steps and Spill Over's deliberate
+	// confidence-1 count are unaffected.
+	TrainIters int
+
+	// ResetModify switches Train+Test and Modify+Test to the paper's
+	// 1-access modify variant (Sec. IV-A): instead of retraining the
+	// entry with a confidence count of accesses (misprediction in the
+	// trigger), a single conflicting access resets the confidence and
+	// the trigger sees *no prediction* — the new timing-window contrast.
+	ResetModify bool
+
+	// Rate model: one secret bit is transmitted per trial, and the
+	// sender/receiver synchronization (the PoCs' sleep()) costs one
+	// scheduling epoch. Rate = ClockHz / (trial cycles + SyncEpoch).
+	ClockHz    float64 // 0 means 3 GHz
+	SyncEpoch  float64 // cycles per sync epoch; 0 means 330,000 (~110 µs)
+	NoSyncCost bool    // report the raw per-trial rate instead
+
+	Noise cpu.Noise // zero value means the default jitter
+}
+
+// Validate reports option errors that defaulting cannot repair.
+func (o Options) Validate() error {
+	if o.Runs < 0 || o.Confidence < 0 || o.FPC < 0 || o.TrainIters < 0 {
+		return fmt.Errorf("attacks: negative runs/confidence/fpc/train-iters in %+v", o)
+	}
+	if o.Defense.RWindow < 0 {
+		return fmt.Errorf("attacks: negative R window")
+	}
+	return nil
+}
+
+func (o *Options) setDefaults() {
+	if o.Predictor == "" {
+		o.Predictor = LVP
+	}
+	if o.Confidence == 0 {
+		o.Confidence = 4
+	}
+	if o.Runs == 0 {
+		o.Runs = 100
+	}
+	if o.ClockHz == 0 {
+		o.ClockHz = 3e9
+	}
+	if o.SyncEpoch == 0 {
+		o.SyncEpoch = 330_000
+	}
+	if o.Noise == (cpu.Noise{}) {
+		o.Noise = cpu.Noise{MemJitter: 12, HitJitter: 2}
+	}
+}
+
+// Virtual address layout shared by the attack programs. The sender and
+// receiver use the same virtual layout (the VPS indexes virtually), but
+// run at different physical offsets, so cache state is disjoint unless
+// a shared mapping is modeled explicitly.
+const (
+	knownAddr   = 0x1000  // receiver-known data (arr3 / known_bit)
+	secretAddr  = 0x2000  // sender secret-related data (arr1 / secret)
+	dummyAddr   = 0x7000  // flush sink when a step must not evict anything
+	probeBase   = 0x40000 // dependent / probe array (Fig. 4's arr2), 64 lines
+	resultsA    = 0x20000 // sender per-iteration timings
+	resultsB    = 0x28000 // receiver per-iteration timings
+	senderPhys  = 0
+	recvPhys    = 1 << 30
+	valueMask   = 0x3f // probe index bits taken from a loaded value
+	probeShift  = 6    // 64-byte line per value step
+	dummyTarget = dummyAddr + 0x800
+)
+
+// Values used by the PoCs; all < 64 so they map to distinct probe
+// lines under valueMask/probeShift. The *distances* between candidate
+// secret values determine the R-type window needed to defend: a window
+// of size S hides value differences up to (S-1)/2. The pointer-like
+// values of Figs. 3/6 are adjacent (Δ=1 ⇒ minimal secure window 3,
+// Sec. VI-B), while Fig. 4's secret flag is 4 apart from the known bit
+// (Δ=4 ⇒ minimal secure window 9).
+const (
+	knownValue   = 0x21 // receiver's trained value (arr3 contents)
+	senderValue  = 0x22 // sender's secret-related value (arr1 contents)
+	secretValue2 = 0x23 // second secret datum (D'')
+	secretAltBit = 4    // Test+Hit's alternative secret value (vs known 0)
+)
+
+// env is one trial's machine: fresh caches, predictor and RNG, so the
+// paper's 100 runs are independent samples.
+type env struct {
+	m       *cpu.Machine
+	opt     *Options
+	conf    int
+	train   int    // accesses per training step (>= conf; see Options.TrainIters)
+	lastPID uint64 // previously scheduled pid (FlushOnSwitch defense)
+}
+
+// switchTo models the OS scheduler handing the core to pid: with the
+// FlushOnSwitch defense, crossing a process boundary clears the VPS.
+func (e *env) switchTo(pid uint64) {
+	if e.opt.Defense.FlushOnSwitch && e.lastPID != 0 && e.lastPID != pid {
+		e.m.Pred.Reset()
+	}
+	e.lastPID = pid
+}
+
+func newEnv(opt *Options, seed int64) (*env, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var inner predictor.Predictor
+	switch opt.Predictor {
+	case NoVP:
+		inner = predictor.NewNone()
+	case LVP, OracleLVP:
+		p, err := predictor.NewLVP(predictor.LVPConfig{
+			Confidence: opt.Confidence, UsePID: opt.UsePID,
+			FPC: opt.FPC, FPCSeed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		inner = p
+	case VTAGE, OracleVTAGE:
+		p, err := predictor.NewVTAGE(predictor.VTAGEConfig{
+			Confidence: opt.Confidence, UsePID: opt.UsePID,
+			FPC: opt.FPC, FPCSeed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		inner = p
+	case Stride:
+		p, err := predictor.NewStride(predictor.StrideConfig{Confidence: opt.Confidence, UsePID: opt.UsePID})
+		if err != nil {
+			return nil, err
+		}
+		inner = p
+	case Stride2D:
+		p, err := predictor.NewStride2D(predictor.Stride2DConfig{Confidence: opt.Confidence, UsePID: opt.UsePID})
+		if err != nil {
+			return nil, err
+		}
+		inner = p
+	case FCM:
+		// HistoryLen 1 with threshold confidence-1 keeps the paper's
+		// convention (first prediction on the confidence+1-th access):
+		// the first access only establishes the context, so after
+		// confidence accesses the VPT has seen confidence-1 repeats.
+		// Deeper contexts need longer training (see the RSA FCM
+		// ablation).
+		th := opt.Confidence - 1
+		if th < 1 {
+			th = 1
+		}
+		p, err := predictor.NewFCM(predictor.FCMConfig{Confidence: th, HistoryLen: 1, UsePID: opt.UsePID})
+		if err != nil {
+			return nil, err
+		}
+		inner = p
+	default:
+		return nil, fmt.Errorf("attacks: unknown predictor kind %q", opt.Predictor)
+	}
+	if opt.Predictor == OracleLVP || opt.Predictor == OracleVTAGE {
+		// The oracle targets the attacked load's PC in the uniform
+		// kernel (and the skewed variant used for unmapped cases).
+		inner = predictor.NewOracle(inner,
+			uint64(attackLoadPC)*cpu.VirtPCBytes,
+			uint64(attackLoadPC+pcSkew)*cpu.VirtPCBytes)
+	}
+	// Defense wrappers: A inside R, so the stack always predicts and
+	// every produced value — including A-type's fallback — is
+	// window-randomized (Sec. VI-B evaluates the combination for
+	// Test+Hit).
+	if opt.Defense.AType {
+		if opt.Defense.AFixedOnly {
+			inner = predictor.NewATypeFixed(inner, 0)
+		} else {
+			inner = predictor.NewAType(inner, 0)
+		}
+	}
+	if opt.Defense.RWindow > 1 {
+		inner = predictor.NewRType(inner, opt.Defense.RWindow, rng)
+	}
+	cfg := cpu.Config{
+		DelaySideEffects: opt.Defense.DType,
+		RecordConflicts:  true,
+		SelectiveReplay:  opt.Replay,
+	}
+	hier := mem.DefaultHierarchy()
+	hier.NextLinePrefetch = opt.Prefetch
+	m, err := cpu.NewMachine(cfg, hier, inner, rng)
+	if err != nil {
+		return nil, err
+	}
+	m.Noise = opt.Noise
+	train := opt.Confidence
+	if opt.TrainIters > 0 {
+		train = opt.TrainIters
+	}
+	return &env{m: m, opt: opt, conf: opt.Confidence, train: train}, nil
+}

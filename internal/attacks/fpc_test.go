@@ -1,0 +1,131 @@
+package attacks
+
+import (
+	"testing"
+
+	"vpsec/internal/core"
+)
+
+// TestFPCDelaysTraining evaluates forward-probabilistic confidence
+// counters (FPC, from the VTAGE paper) as an accidental mitigation:
+// with increment rate 1/FPC, the paper's minimal confidence-count
+// training almost never reaches the threshold, so the attack's timing
+// contrast disappears — but an attacker who simply trains ~FPC times
+// longer restores it. FPC raises the attack's cost (and so lowers its
+// rate); it is not a defense.
+func TestFPCDelaysTraining(t *testing.T) {
+	// Minimal training (the paper's confidence-count accesses): with
+	// FPC=4 the receiver's entry reaches confidence with probability
+	// (1/4)^3 ≈ 1.6%, so neither the mapped nor the unmapped case
+	// predicts and the distributions collapse together.
+	minimal := testOpt(core.TimingWindow, LVP)
+	minimal.FPC = 4
+	r := runCase(t, core.TrainTest, minimal)
+	if r.Effective() {
+		t.Errorf("minimally-trained FPC attack p=%.4f, want ineffective", r.P)
+	}
+
+	// Over-training restores the attack: 24 accesses give ~23 draws at
+	// rate 1/4 against a threshold of 3 increments, so the receiver's
+	// entry is essentially always trained and the trigger again
+	// separates mapped (sender perturbed the entry: slow) from unmapped
+	// (correct prediction: fast).
+	overtrained := testOpt(core.TimingWindow, LVP)
+	overtrained.FPC = 4
+	overtrained.TrainIters = 24
+	r = runCase(t, core.TrainTest, overtrained)
+	if !r.Effective() {
+		t.Errorf("over-trained FPC attack p=%.4f, want effective", r.P)
+	}
+
+	// Sanity: the same over-training without FPC is also effective (the
+	// TrainIters knob does not itself break the attack).
+	plain := testOpt(core.TimingWindow, LVP)
+	plain.TrainIters = 24
+	r = runCase(t, core.TrainTest, plain)
+	if !r.Effective() {
+		t.Errorf("over-trained deterministic attack p=%.4f, want effective", r.P)
+	}
+}
+
+// TestFPCOnVTAGE repeats the minimal-vs-overtrained contrast on VTAGE,
+// whose tagged components and base table both carry FPC counters.
+func TestFPCOnVTAGE(t *testing.T) {
+	minimal := testOpt(core.TimingWindow, VTAGE)
+	minimal.FPC = 4
+	r := runCase(t, core.TrainTest, minimal)
+	if r.Effective() {
+		t.Errorf("minimally-trained VTAGE+FPC p=%.4f, want ineffective", r.P)
+	}
+	overtrained := testOpt(core.TimingWindow, VTAGE)
+	overtrained.FPC = 4
+	overtrained.TrainIters = 24
+	r = runCase(t, core.TrainTest, overtrained)
+	if !r.Effective() {
+		t.Errorf("over-trained VTAGE+FPC p=%.4f, want effective", r.P)
+	}
+}
+
+// TestStride2DAlsoLeaks extends the Sec. IV-D3 predictor-generality
+// ablation to the 2-delta stride predictor: constant secrets are its
+// zero-stride case, so the paper's categories carry over. The 2-delta
+// hysteresis protects the predicted *stride* from one-off perturbations
+// (see the predictor-level tests), but not the last value the
+// prediction extrapolates from — Modify+Test's single access still
+// flips the predicted value, so no category is lost.
+func TestStride2DAlsoLeaks(t *testing.T) {
+	for _, cat := range []core.Category{core.TrainTest, core.TestHit, core.FillUp, core.ModifyTest} {
+		r := runCase(t, cat, testOpt(core.TimingWindow, Stride2D))
+		if !r.Effective() {
+			t.Errorf("%v on 2-delta stride: p=%.4f, want effective", cat, r.P)
+		}
+	}
+}
+
+// TestTrainItersDoesNotChangeSpillOver pins the TrainIters contract:
+// Spill Over's deliberately-one-below-threshold training is not
+// overridden (over-training it would change the category's semantics).
+func TestTrainItersDoesNotChangeSpillOver(t *testing.T) {
+	base := testOpt(core.TimingWindow, LVP)
+	over := base
+	over.TrainIters = 24
+	rb := runCase(t, core.SpillOver, base)
+	ro := runCase(t, core.SpillOver, over)
+	if rb.Effective() != ro.Effective() {
+		t.Errorf("Spill Over changed under TrainIters: base p=%.4f, over p=%.4f", rb.P, ro.P)
+	}
+	if !ro.Effective() {
+		t.Errorf("Spill Over p=%.4f, want effective", ro.P)
+	}
+}
+
+// TestFlushOnSwitchScopesAttacks evaluates the OS-level mitigation of
+// flushing the whole VPS at every context switch: the cross-process
+// categories lose their collision (the trained entry is gone by the
+// time the other process triggers), while internal-interference
+// attacks — whose every predictor step happens inside one victim
+// timeslice — are untouched. The scoping is the same as pid indexing
+// (Sec. V-B), but flushing needs no tag bits and also covers attackers
+// who share or spoof a pid, at the cost of retraining after every
+// switch.
+func TestFlushOnSwitchScopesAttacks(t *testing.T) {
+	crossProcess := []core.Category{core.TrainTest, core.TestHit, core.ModifyTest}
+	internal := []core.Category{core.TrainHit, core.SpillOver, core.FillUp}
+
+	for _, cat := range crossProcess {
+		opt := testOpt(core.TimingWindow, LVP)
+		opt.Defense.FlushOnSwitch = true
+		r := runCase(t, cat, opt)
+		if r.Effective() {
+			t.Errorf("%v with VPS flush on switch: p=%.4f, want defended", cat, r.P)
+		}
+	}
+	for _, cat := range internal {
+		opt := testOpt(core.TimingWindow, LVP)
+		opt.Defense.FlushOnSwitch = true
+		r := runCase(t, cat, opt)
+		if !r.Effective() {
+			t.Errorf("%v with VPS flush on switch: p=%.4f, internal interference should survive", cat, r.P)
+		}
+	}
+}

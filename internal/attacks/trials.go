@@ -1,0 +1,482 @@
+package attacks
+
+import (
+	"fmt"
+
+	"vpsec/internal/core"
+)
+
+// A trial executes one complete attack instance (train, modify,
+// trigger, encode, decode) on a fresh machine and returns the
+// receiver's observation in cycles plus the total simulated cycles the
+// trial consumed (used for the transmission-rate model).
+//
+// The meaning of "mapped" follows the paper's per-figure definitions:
+// the case in which the secret condition produces the distinguishable
+// microarchitectural event (Sec. IV-D).
+func (e *env) trial(cat core.Category, mapped bool, ch core.Channel) (float64, uint64, error) {
+	switch cat {
+	case core.TrainTest:
+		if ch == core.Volatile {
+			return e.trialTrainTestVolatile(mapped)
+		}
+		return e.trialTrainTest(mapped, ch)
+	case core.TestHit:
+		if ch == core.Volatile {
+			return e.trialTestHitVolatile(mapped)
+		}
+		return e.trialTestHit(mapped, ch)
+	case core.TrainHit:
+		return e.trialTrainHit(mapped, ch)
+	case core.SpillOver:
+		return e.trialSpillOver(mapped, ch)
+	case core.FillUp:
+		if ch == core.Volatile {
+			return e.trialFillUpVolatile(mapped)
+		}
+		return e.trialFillUp(mapped, ch)
+	case core.ModifyTest:
+		return e.trialModifyTest(mapped, ch)
+	}
+	return 0, 0, fmt.Errorf("attacks: unknown category %q", cat)
+}
+
+// supportsChannel reports whether the category has a variant on ch.
+func supportsChannel(cat core.Category, ch core.Channel) bool {
+	for _, c := range core.ChannelsFor(cat) {
+		if c == ch {
+			return true
+		}
+	}
+	return false
+}
+
+// trialTrainTest runs the R^KI, S^SI', R^KI variant of Fig. 3: the
+// receiver trains a known index, the sender's secret-dependent access
+// modifies (retrains) the same index iff the secret is 1 ("mapped"),
+// and the receiver's trigger observes misprediction (mapped) vs
+// correct prediction (unmapped).
+func (e *env) trialTrainTest(mapped bool, ch core.Channel) (float64, uint64, error) {
+	var total uint64
+
+	// 1) Train: receiver sets a known reference state.
+	_, res, err := e.runKernel(2, kernelParams{
+		name: "tt-train", target: knownAddr, value: knownValue, setValue: true,
+		iters: e.train, flush: true, depBase: probeBase, flushDep: true,
+		results: resultsB,
+	}, recvPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+
+	// 2) Modify: the sender's secret-dependent access. Mapped = same
+	// index (aligned PCs) and secret = 1; unmapped = the access lands
+	// on a different index (secret = 0 behaves identically: no
+	// modification of the trained entry). With a confidence count of
+	// accesses the entry is retrained (trigger mispredicts); with the
+	// 1-access variant (Options.ResetModify) the confidence resets and
+	// the trigger sees no prediction (Sec. IV-A).
+	skew := pcSkew
+	if mapped {
+		skew = 0
+	}
+	modIters := e.conf
+	if e.opt.ResetModify {
+		modIters = 1
+	}
+	_, res, err = e.runKernel(1, kernelParams{
+		name: "tt-modify", target: secretAddr, value: senderValue, setValue: true,
+		iters: modIters, flush: true, depBase: probeBase, flushDep: true,
+		results: resultsA, skew: skew,
+	}, senderPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+
+	// 3) Trigger + 4/5) encode/decode.
+	e.flushProbeRegion(recvPhys)
+	times, res, err := e.runKernel(2, kernelParams{
+		name: "tt-trigger", target: knownAddr,
+		iters: 1, flush: true, depBase: probeBase, flushDep: false,
+		results: resultsB,
+	}, recvPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+
+	switch ch {
+	case core.TimingWindow:
+		return float64(times[0]), total, nil
+	case core.Persistent:
+		// Reload the probe line the transient encode touches when the
+		// trigger mispredicts with the sender-trained value.
+		lat, err := e.probeLatency(2, recvPhys, senderValue)
+		return float64(lat), total + 64, err
+	}
+	return 0, 0, fmt.Errorf("attacks: Train+Test has no %v variant", ch)
+}
+
+// trialTrainTestVolatile is the volatile-channel variant of Fig. 3:
+// the trigger's transient window runs a burst gated on the *predicted*
+// value's parity. The receiver's trained value (0x21) is odd and the
+// sender's (0x22) even, so the contention a co-runner samples during
+// the window reveals whether the sender's modify step retrained the
+// shared entry.
+func (e *env) trialTrainTestVolatile(mapped bool) (float64, uint64, error) {
+	var total uint64
+	_, res, err := e.runKernel(2, kernelParams{
+		name: "ttv-train", target: knownAddr, value: knownValue, setValue: true,
+		iters: e.train, flush: true, depBase: probeBase, flushDep: true,
+		results: resultsB,
+	}, recvPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+
+	skew := pcSkew
+	if mapped {
+		skew = 0
+	}
+	_, res, err = e.runKernel(1, kernelParams{
+		name: "ttv-modify", target: secretAddr, value: senderValue, setValue: true,
+		iters: e.conf, flush: true, depBase: probeBase, flushDep: true,
+		results: resultsA, skew: skew,
+	}, senderPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+
+	obs, res, err := e.runVolatileTrigger(2, kernelParams{
+		name: "ttv-trigger", target: knownAddr,
+		iters: 1, flush: true, results: resultsB,
+	}, recvPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+	return obs, total, nil
+}
+
+// trialTestHit runs the S^SD', —, R^KD variant of Fig. 4: the sender
+// trains the predictor on the secret bit; the receiver's known-data
+// trigger receives the secret as a prediction. Timing-window: mapped =
+// secret equals the known data (correct prediction, faster).
+// Persistent: mapped = the probed candidate line equals the secret
+// (the transient array access cached it).
+func (e *env) trialTestHit(mapped bool, ch core.Channel) (float64, uint64, error) {
+	var total uint64
+	const knownBit = 0
+	var secretBit uint64
+	switch ch {
+	case core.TimingWindow:
+		if mapped {
+			secretBit = knownBit // same data -> correct prediction
+		} else {
+			secretBit = secretAltBit
+		}
+	case core.Persistent:
+		if mapped {
+			secretBit = secretAltBit // candidate probed below
+		} else {
+			secretBit = knownBit
+		}
+	default:
+		return 0, 0, fmt.Errorf("attacks: Test+Hit has no %v variant", ch)
+	}
+
+	// 1) Train: the sender's repeated secret access (Fig. 4 lines 2-5).
+	_, res, err := e.runKernel(1, kernelParams{
+		name: "th-train", target: secretAddr, value: secretBit, setValue: true,
+		iters: e.train, flush: true, depBase: probeBase, flushDep: true,
+		results: resultsA,
+	}, senderPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+
+	// 3) Trigger + 4) encode: the receiver's known-data access at the
+	// same index; the dependent load is Fig. 4's `y = arr2[x*512]`.
+	e.flushProbeRegion(recvPhys)
+	times, res, err := e.runKernel(2, kernelParams{
+		name: "th-trigger", target: knownAddr, value: knownBit, setValue: true,
+		iters: 1, flush: true, depBase: probeBase, flushDep: false,
+		results: resultsB,
+	}, recvPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+
+	switch ch {
+	case core.TimingWindow:
+		return float64(times[0]), total, nil
+	default: // persistent
+		lat, err := e.probeLatency(2, recvPhys, secretAltBit)
+		return float64(lat), total + 64, err
+	}
+}
+
+// trialTrainHit runs S^KD, —, S^SD': the sender's predictor entry is
+// trained with known data, then a single secret-related access at the
+// same index is timed (internal interference; the receiver observes
+// the sender's execution time). Mapped = secret equals the known data
+// (correct prediction, faster).
+func (e *env) trialTrainHit(mapped bool, ch core.Channel) (float64, uint64, error) {
+	if ch != core.TimingWindow {
+		return 0, 0, fmt.Errorf("attacks: Train+Hit has no %v variant", ch)
+	}
+	var total uint64
+	_, res, err := e.runKernel(1, kernelParams{
+		name: "trh-train", target: secretAddr, value: knownValue, setValue: true,
+		iters: e.train, flush: true, depBase: probeBase, flushDep: true,
+		results: resultsA,
+	}, senderPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+
+	secret := uint64(knownValue)
+	if !mapped {
+		secret = senderValue
+	}
+	e.writeWord(senderPhys, secretAddr, secret) // the victim's secret-dependent datum
+
+	e.flushProbeRegion(senderPhys)
+	times, res, err := e.runKernel(1, kernelParams{
+		name: "trh-trigger", target: secretAddr,
+		iters: 1, flush: true, depBase: probeBase, flushDep: false,
+		results: resultsA,
+	}, senderPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+	return float64(times[0]), total, nil
+}
+
+// trialSpillOver runs S^SD', S^SD”, S^SD': confidence-1 accesses to
+// D', one access to D”, then a trigger access to D'. All-same secrets
+// reach the confidence threshold (correct prediction, fast); a
+// different D” resets confidence (no prediction, slow) — the paper's
+// new no-prediction vs correct-prediction timing-window channel.
+func (e *env) trialSpillOver(mapped bool, ch core.Channel) (float64, uint64, error) {
+	if ch != core.TimingWindow {
+		return 0, 0, fmt.Errorf("attacks: Spill Over has no %v variant", ch)
+	}
+	var total uint64
+	_, res, err := e.runKernel(1, kernelParams{
+		name: "so-train", target: secretAddr, value: senderValue, setValue: true,
+		iters: e.conf - 1, flush: true, depBase: probeBase, flushDep: true,
+		results: resultsA,
+	}, senderPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+
+	second := uint64(senderValue)
+	if !mapped {
+		second = secretValue2
+	}
+	e.writeWord(senderPhys, secretAddr, second)
+	_, res, err = e.runKernel(1, kernelParams{
+		name: "so-modify", target: secretAddr,
+		iters: 1, flush: true, depBase: probeBase, flushDep: true,
+		results: resultsA,
+	}, senderPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+
+	e.writeWord(senderPhys, secretAddr, senderValue)
+	e.flushProbeRegion(senderPhys)
+	times, res, err := e.runKernel(1, kernelParams{
+		name: "so-trigger", target: secretAddr,
+		iters: 1, flush: true, depBase: probeBase, flushDep: false,
+		results: resultsA,
+	}, senderPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+	return float64(times[0]), total, nil
+}
+
+// trialFillUp runs S^SD', —, S^SD”: confidence accesses to D', then
+// one access to D”. Equal secrets predict correctly (fast); different
+// secrets mispredict (slow). The persistent variant extracts D' from
+// the trigger's transient execution and the receiver reloads a
+// candidate probe line in the shared mapping.
+func (e *env) trialFillUp(mapped bool, ch core.Channel) (float64, uint64, error) {
+	var total uint64
+	_, res, err := e.runKernel(1, kernelParams{
+		name: "fu-train", target: secretAddr, value: senderValue, setValue: true,
+		iters: e.train, flush: true, depBase: probeBase, flushDep: true,
+		results: resultsA,
+	}, senderPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+
+	switch ch {
+	case core.TimingWindow:
+		second := uint64(senderValue)
+		if !mapped {
+			second = secretValue2
+		}
+		e.writeWord(senderPhys, secretAddr, second)
+	case core.Persistent:
+		// The trigger's prediction (and hence the transient encode) is
+		// always D' = senderValue; mapped means the receiver probes the
+		// right candidate line.
+		e.writeWord(senderPhys, secretAddr, secretValue2)
+	default:
+		return 0, 0, fmt.Errorf("attacks: Fill Up has no %v variant", ch)
+	}
+
+	e.flushProbeRegion(senderPhys)
+	times, res, err := e.runKernel(1, kernelParams{
+		name: "fu-trigger", target: secretAddr,
+		iters: 1, flush: true, depBase: probeBase, flushDep: false,
+		results: resultsA,
+	}, senderPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+
+	switch ch {
+	case core.TimingWindow:
+		return float64(times[0]), total, nil
+	default: // persistent: probe the candidate in the shared mapping
+		candidate := uint64(senderValue)
+		if !mapped {
+			candidate = knownValue // a line never touched
+		}
+		lat, err := e.probeLatency(2, senderPhys, candidate)
+		return float64(lat), total + 64, err
+	}
+}
+
+// trialModifyTest runs S^SI', R^KI, S^SI' — the flipped Train+Test:
+// the sender trains its secret-dependent index, the receiver's
+// known-index accesses retrain (confidence-count modify) the entry iff
+// the indices collide, and the sender's trigger is timed. Mapped =
+// indices equal (misprediction, slow).
+func (e *env) trialModifyTest(mapped bool, ch core.Channel) (float64, uint64, error) {
+	if ch != core.TimingWindow {
+		return 0, 0, fmt.Errorf("attacks: Modify+Test has no %v variant", ch)
+	}
+	var total uint64
+	skew := pcSkew
+	if mapped {
+		skew = 0
+	}
+	_, res, err := e.runKernel(1, kernelParams{
+		name: "mt-train", target: secretAddr, value: senderValue, setValue: true,
+		iters: e.train, flush: true, depBase: probeBase, flushDep: true,
+		results: resultsA, skew: skew,
+	}, senderPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+
+	mtIters := e.conf
+	if e.opt.ResetModify {
+		mtIters = 1 // invalidate instead of retrain (Sec. V-B item 6)
+	}
+	_, res, err = e.runKernel(2, kernelParams{
+		name: "mt-modify", target: knownAddr, value: knownValue, setValue: true,
+		iters: mtIters, flush: true, depBase: probeBase, flushDep: true,
+		results: resultsB,
+	}, recvPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+
+	e.flushProbeRegion(senderPhys)
+	times, res, err := e.runKernel(1, kernelParams{
+		name: "mt-trigger", target: secretAddr,
+		iters: 1, flush: true, depBase: probeBase, flushDep: false,
+		results: resultsA, skew: skew,
+	}, senderPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+	return float64(times[0]), total, nil
+}
+
+// trialTestHitVolatile is the volatile-channel variant of Fig. 4: the
+// receiver's trigger receives the sender-trained secret bit as a
+// prediction, and the transient parity burst encodes it into port
+// contention instead of the cache. Mapped = secret bit 1 (burst).
+func (e *env) trialTestHitVolatile(mapped bool) (float64, uint64, error) {
+	var total uint64
+	secretBit := uint64(0)
+	if mapped {
+		secretBit = 1
+	}
+	_, res, err := e.runKernel(1, kernelParams{
+		name: "thv-train", target: secretAddr, value: secretBit, setValue: true,
+		iters: e.train, flush: true, depBase: probeBase, flushDep: true,
+		results: resultsA,
+	}, senderPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+
+	obs, res, err := e.runVolatileTrigger(2, kernelParams{
+		name: "thv-trigger", target: knownAddr, value: 0, setValue: true,
+		iters: 1, flush: true, results: resultsB,
+	}, recvPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+	return obs, total, nil
+}
+
+// trialFillUpVolatile extracts the parity of the trained secret D'
+// through port contention: the sender's trigger access to D” receives
+// D' as the prediction and the transient burst fires iff D' is odd.
+// Mapped = D' odd.
+func (e *env) trialFillUpVolatile(mapped bool) (float64, uint64, error) {
+	var total uint64
+	dPrime := uint64(senderValue) // 0x22, even
+	if mapped {
+		dPrime = secretValue2 // 0x23, odd
+	}
+	_, res, err := e.runKernel(1, kernelParams{
+		name: "fuv-train", target: secretAddr, value: dPrime, setValue: true,
+		iters: e.train, flush: true, depBase: probeBase, flushDep: true,
+		results: resultsA,
+	}, senderPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+
+	e.writeWord(senderPhys, secretAddr, senderValue) // D'': any second secret
+	obs, res, err := e.runVolatileTrigger(1, kernelParams{
+		name: "fuv-trigger", target: secretAddr,
+		iters: 1, flush: true, results: resultsA,
+	}, senderPhys)
+	if err != nil {
+		return 0, 0, err
+	}
+	total += res.Cycles
+	return obs, total, nil
+}

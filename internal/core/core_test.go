@@ -1,0 +1,245 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestActionsTableI(t *testing.T) {
+	acts := Actions()
+	if len(acts) != 8 {
+		t.Fatalf("Table I has %d actions, want 8", len(acts))
+	}
+	want := map[string]bool{
+		"S^KD": true, "S^KI": true, "R^KD": true, "R^KI": true,
+		"S^SD'": true, "S^SD''": true, "S^SI'": true, "S^SI''": true,
+	}
+	for _, a := range acts {
+		if !want[a.String()] {
+			t.Errorf("unexpected action %v", a)
+		}
+		delete(want, a.String())
+		if !a.Valid() {
+			t.Errorf("action %v reported invalid", a)
+		}
+	}
+	if len(want) != 0 {
+		t.Errorf("missing actions: %v", want)
+	}
+}
+
+func TestReceiverCannotAccessSecret(t *testing.T) {
+	a := Action{Party: Receiver, Kind: Data, Secrecy: Secret1}
+	if a.Valid() {
+		t.Error("receiver secret access must be invalid under the threat model")
+	}
+	for _, got := range Actions() {
+		if got.Party == Receiver && got.Secret() {
+			t.Errorf("Actions() emitted invalid %v", got)
+		}
+	}
+}
+
+func TestActionDescriptionsCoverTableI(t *testing.T) {
+	d := ActionDescriptions()
+	for _, a := range Actions() {
+		if _, ok := d[a.String()]; !ok {
+			t.Errorf("no description for %v", a)
+		}
+	}
+	if _, ok := d["—"]; !ok {
+		t.Error("no description for the empty modify step")
+	}
+}
+
+func TestAllPatternsCount(t *testing.T) {
+	// 8 train x 9 modify x 8 trigger = 576 (Sec. V-A).
+	if got := len(AllPatterns()); got != 576 {
+		t.Fatalf("pattern space = %d, want 576", got)
+	}
+}
+
+// TestTableII asserts the rule engine reproduces Table II exactly:
+// the same 12 patterns with the same categories.
+func TestTableII(t *testing.T) {
+	want := map[string]Category{
+		"S^KD, —, S^SD'":       TrainHit,
+		"S^KI, S^SI', S^KI":    TrainTest,
+		"S^KI, S^SI', R^KI":    TrainTest,
+		"R^KD, —, S^SD'":       TrainHit,
+		"R^KI, S^SI', S^KI":    TrainTest,
+		"R^KI, S^SI', R^KI":    TrainTest,
+		"S^SD', S^SD'', S^SD'": SpillOver,
+		"S^SD', —, S^KD":       TestHit,
+		"S^SD', —, R^KD":       TestHit,
+		"S^SD', —, S^SD''":     FillUp,
+		"S^SI', S^KI, S^SI'":   ModifyTest,
+		"S^SI', R^KI, S^SI'":   ModifyTest,
+	}
+	got := Reduce()
+	if len(got) != 12 {
+		for _, v := range got {
+			t.Logf("kept: %v -> %v", v.Pattern, v.Category)
+		}
+		t.Fatalf("Reduce kept %d patterns, want 12", len(got))
+	}
+	for _, v := range got {
+		key := v.Pattern.String()
+		wantCat, ok := want[key]
+		if !ok {
+			t.Errorf("unexpected surviving pattern %q (%v)", key, v.Category)
+			continue
+		}
+		if v.Category != wantCat {
+			t.Errorf("pattern %q classified %v, want %v", key, v.Category, wantCat)
+		}
+		delete(want, key)
+	}
+	for k := range want {
+		t.Errorf("missing Table II pattern %q", k)
+	}
+}
+
+func TestCategoriesComplete(t *testing.T) {
+	seen := map[Category]bool{}
+	for _, v := range Reduce() {
+		seen[v.Category] = true
+	}
+	for _, c := range Categories() {
+		if !seen[c] {
+			t.Errorf("category %v has no surviving pattern", c)
+		}
+	}
+	if len(seen) != 6 {
+		t.Errorf("got %d categories, want 6", len(seen))
+	}
+}
+
+func TestRejectionHistogramAccountsForAll(t *testing.T) {
+	hist := RejectionHistogram()
+	total := 0
+	for _, n := range hist {
+		total += n
+	}
+	if total != 576 {
+		t.Errorf("histogram totals %d, want 576: %v", total, hist)
+	}
+	if hist["(kept)"] != 12 {
+		t.Errorf("kept = %d, want 12", hist["(kept)"])
+	}
+	for _, r := range Rules() {
+		if r.Name == "" || r.Why == "" {
+			t.Error("rule missing name or rationale")
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := Pattern{
+		Train:     Action{Sender, Index, Secret1},
+		Modify:    Action{Receiver, Index, Known},
+		HasModify: true,
+		Trigger:   Action{Sender, Index, Secret1},
+	}
+	if got := p.String(); got != "S^SI', R^KI, S^SI'" {
+		t.Errorf("String = %q", got)
+	}
+	p.HasModify = false
+	if !strings.Contains(p.String(), "—") {
+		t.Errorf("empty modify not rendered: %q", p.String())
+	}
+}
+
+func TestChannelsFor(t *testing.T) {
+	// Table III: persistent channel evaluated only for Train+Test,
+	// Test+Hit and Fill Up.
+	for _, c := range []Category{TrainTest, TestHit, FillUp} {
+		chs := ChannelsFor(c)
+		if len(chs) != 3 {
+			t.Errorf("%v channels = %v, want timing-window+persistent+volatile", c, chs)
+		}
+	}
+	for _, c := range []Category{TrainHit, SpillOver, ModifyTest} {
+		chs := ChannelsFor(c)
+		if len(chs) != 1 || chs[0] != TimingWindow {
+			t.Errorf("%v channels = %v, want timing-window only", c, chs)
+		}
+	}
+}
+
+func TestContrastAndTaxonomy(t *testing.T) {
+	if ContrastFor(SpillOver) != CorrectVsNone {
+		t.Error("Spill Over must use the new no-prediction contrast")
+	}
+	if ContrastFor(TrainTest) != CorrectVsWrong {
+		t.Error("Train+Test headline contrast is correct-vs-wrong")
+	}
+	tax := Taxonomy()
+	if len(tax) != 3 {
+		t.Fatalf("taxonomy has %d leaves, want 3", len(tax))
+	}
+	var sawNew, sawEmpty bool
+	for _, e := range tax {
+		if e.New && e.Contrast == CorrectVsNone {
+			sawNew = true
+		}
+		if e.Contrast == WrongVsNone && len(e.Examples) == 0 {
+			sawEmpty = true
+		}
+	}
+	if !sawNew {
+		t.Error("taxonomy missing the new no-prediction-vs-correct leaf")
+	}
+	if !sawEmpty {
+		t.Error("no-known-examples leaf should be empty")
+	}
+	for _, c := range []Channel{TimingWindow, Persistent, Volatile} {
+		if c.String() == "?" {
+			t.Errorf("channel %d unnamed", c)
+		}
+	}
+	for _, tc := range []TimingContrast{CorrectVsWrong, CorrectVsNone, WrongVsNone} {
+		if tc.String() == "?" {
+			t.Errorf("contrast %d unnamed", tc)
+		}
+	}
+}
+
+// Property-style check: the rule engine is deterministic and stable.
+func TestReduceDeterministic(t *testing.T) {
+	a, b := Reduce(), Reduce()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i].Pattern != b[i].Pattern || a[i].Category != b[i].Category {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+// Property: the kept/rejected partition is exact — every surviving
+// pattern passes every rule and every rejected pattern fails at least
+// one.
+func TestPropertyRulePartitionExact(t *testing.T) {
+	rules := Rules()
+	kept := map[string]bool{}
+	for _, v := range Reduce() {
+		kept[v.Pattern.String()] = true
+	}
+	for _, p := range AllPatterns() {
+		rejectedBy := ""
+		for _, r := range rules {
+			if r.Reject(p) {
+				rejectedBy = r.Name
+				break
+			}
+		}
+		if kept[p.String()] && rejectedBy != "" {
+			t.Errorf("kept pattern %q rejected by %s", p, rejectedBy)
+		}
+		if !kept[p.String()] && rejectedBy == "" {
+			t.Errorf("pattern %q survives all rules but is not in Table II", p)
+		}
+	}
+}

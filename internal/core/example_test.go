@@ -1,0 +1,33 @@
+package core_test
+
+import (
+	"fmt"
+
+	"vpsec/internal/core"
+)
+
+// Reduce derives Table II: the 576-pattern space collapses to 12
+// effective attack variants in 6 categories.
+func ExampleReduce() {
+	variants := core.Reduce()
+	fmt.Println(len(core.AllPatterns()), "patterns ->", len(variants), "attacks")
+	for _, v := range variants[:3] {
+		fmt.Printf("%s: %s\n", v.Category, v.Pattern)
+	}
+	// Output:
+	// 576 patterns -> 12 attacks
+	// Train + Hit: S^KD, —, S^SD'
+	// Train + Test: S^KI, S^SI', S^KI
+	// Train + Test: S^KI, S^SI', R^KI
+}
+
+// Each category supports specific exfiltration channels (Sec. V-B):
+// the three that train the predictor on the secret can also use
+// transient-execution channels.
+func ExampleChannelsFor() {
+	fmt.Println(core.ChannelsFor(core.TestHit))
+	fmt.Println(core.ChannelsFor(core.SpillOver))
+	// Output:
+	// [timing-window persistent volatile]
+	// [timing-window]
+}

@@ -1,0 +1,55 @@
+package cpu_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vpsec/internal/cpu"
+	"vpsec/internal/isa"
+	"vpsec/internal/predictor"
+)
+
+// The timing cliff every attack measures: a repeatedly-flushed load
+// becomes fast the moment the VPS reaches confidence, because the
+// dependent load overlaps the miss.
+func ExampleMachine_Run() {
+	lvp, _ := predictor.NewLVP(predictor.LVPConfig{Confidence: 2})
+	m, _ := cpu.NewMachine(cpu.Config{}, nil, lvp, rand.New(rand.NewSource(1)))
+
+	b := isa.NewBuilder("cliff")
+	b.Word(0x1000, 0x08)
+	b.MovI(isa.R1, 0x1000)
+	b.MovI(isa.R9, 0x4000)
+	b.MovI(isa.R10, 0x8000)
+	b.MovI(isa.R3, 0)
+	b.MovI(isa.R4, 4)
+	b.Label("loop")
+	b.Flush(isa.R1, 0)
+	b.Fence()
+	b.Rdtsc(isa.R20)
+	b.Load(isa.R2, isa.R1, 0) // trains, then predicts
+	b.AndI(isa.R5, isa.R2, 0x3f)
+	b.ShlI(isa.R5, isa.R5, 6)
+	b.Add(isa.R6, isa.R9, isa.R5)
+	b.Load(isa.R7, isa.R6, 0) // dependent load
+	b.Fence()
+	b.Rdtsc(isa.R21)
+	b.Sub(isa.R22, isa.R21, isa.R20)
+	b.ShlI(isa.R11, isa.R3, 3)
+	b.Add(isa.R12, isa.R10, isa.R11)
+	b.Store(isa.R12, 0, isa.R22)
+	b.Flush(isa.R6, 0)
+	b.Fence()
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Blt(isa.R3, isa.R4, "loop")
+	b.Halt()
+
+	proc, _ := m.NewProcess(1, b.MustBuild(), 0)
+	res, _ := m.Run(proc)
+	t2 := m.Hier.Mem.Peek(0x8000 + 16) // iteration 2: trained
+	fmt.Println("predictions made:", res.Predictions > 0)
+	fmt.Println("trained iteration faster than 200 cycles:", t2 < 200)
+	// Output:
+	// predictions made: true
+	// trained iteration faster than 200 cycles: true
+}

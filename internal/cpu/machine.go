@@ -1,0 +1,126 @@
+package cpu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vpsec/internal/isa"
+	"vpsec/internal/mem"
+	"vpsec/internal/predictor"
+	"vpsec/internal/trace"
+)
+
+// Process is one executable context: a program, an architectural
+// register file, and the physical offset of its private address space.
+// The VPS indexes by virtual PC and virtual data address, so two
+// processes with equal virtual layouts collide in the predictor (what
+// the cross-process attacks exploit) while their cache footprints stay
+// disjoint.
+type Process struct {
+	PID      uint64
+	Prog     *isa.Program
+	PhysBase uint64
+	Regs     [isa.NumRegs]uint64
+}
+
+// Machine owns the shared microarchitectural state: the memory
+// hierarchy, the value predictor, the global cycle counter (the RDTSC
+// time base persists across process runs).
+type Machine struct {
+	Cfg   Config
+	Hier  *mem.Hierarchy
+	Pred  predictor.Predictor
+	Rng   *rand.Rand
+	Noise Noise
+	Cycle uint64
+
+	// Tracer, when non-nil and enabled, records per-instruction
+	// pipeline events (see internal/trace and cmd/vpsim -pipeview).
+	Tracer *trace.Recorder
+}
+
+// NewMachine assembles a machine; nil hier gets the default hierarchy,
+// nil pred gets the no-VP baseline, nil rng gets a fixed seed.
+func NewMachine(cfg Config, hier *mem.Hierarchy, pred predictor.Predictor, rng *rand.Rand) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.setDefaults()
+	if hier == nil {
+		hier = mem.DefaultHierarchy()
+	}
+	if pred == nil {
+		pred = predictor.NewNone()
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Machine{Cfg: cfg, Hier: hier, Pred: pred, Rng: rng}, nil
+}
+
+// NewProcess registers a process: its initial data words are written
+// to physical memory at physBase + vaddr.
+func (m *Machine) NewProcess(pid uint64, prog *isa.Program, physBase uint64) (*Process, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Process{PID: pid, Prog: prog, PhysBase: physBase}
+	for a, v := range prog.Data {
+		m.Hier.Mem.Write(physBase+a, v)
+	}
+	return p, nil
+}
+
+// RunResult summarizes one program execution.
+type RunResult struct {
+	Cycles  uint64 // wall cycles consumed by this run
+	Retired uint64 // committed instructions
+
+	Predictions   uint64 // value predictions made
+	VerifyCorrect uint64 // verified correct
+	VerifyWrong   uint64 // verified wrong (value squashes)
+	NoPredictions uint64 // VPS consulted, below confidence
+	BranchSquash  uint64 // taken-branch refetches
+	LoadMisses    uint64 // loads served beyond L1
+	Forwards      uint64 // store-to-load forwards
+	PortConflicts uint64 // ready instructions that could not issue
+	//                      because the issue ports were saturated —
+	//                      the contention a co-runner observes (the
+	//                      volatile channel of Sec. V)
+
+	// ConflictSeries is the per-cycle port-conflict count, recorded
+	// only when Config.RecordConflicts is set; index = cycle within
+	// the run.
+	ConflictSeries []uint32
+
+	Regs [isa.NumRegs]uint64 // final architectural registers
+}
+
+// IPC returns retired instructions per cycle.
+func (r RunResult) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Retired) / float64(r.Cycles)
+}
+
+// Run executes proc's program on the machine until HALT commits,
+// mutating shared state (caches, predictor, cycle counter) and the
+// process's architectural registers.
+func (m *Machine) Run(proc *Process) (RunResult, error) {
+	st := newPipeline(m, proc)
+	for {
+		done, err := st.step()
+		if err != nil {
+			return st.res, err
+		}
+		if done {
+			proc.Regs = st.regs
+			st.res.Regs = st.regs
+			return st.res, nil
+		}
+		if st.res.Cycles >= m.Cfg.MaxCycles {
+			return st.res, fmt.Errorf("cpu: %q exceeded %d cycles", proc.Prog.Name, m.Cfg.MaxCycles)
+		}
+	}
+}

@@ -1,0 +1,731 @@
+package cpu
+
+import (
+	"vpsec/internal/isa"
+	"vpsec/internal/mem"
+	"vpsec/internal/predictor"
+	"vpsec/internal/trace"
+)
+
+type entryState uint8
+
+const (
+	stWaiting entryState = iota
+	stExecuting
+	stDone
+)
+
+// operand is one renamed source: either a captured value or a pointer
+// to the in-flight producer whose writeback will supply it.
+type operand struct {
+	ready bool
+	val   uint64
+	prod  *entry
+	// origProd survives wakeups: selective replay uses it to find and
+	// re-source the dependence closure of a mispredicted load.
+	origProd *entry
+}
+
+// entry is a reorder-buffer slot (unified ROB + issue queue).
+type entry struct {
+	seq   uint64
+	pc    int
+	in    isa.Instr
+	state entryState
+
+	src1, src2 operand
+
+	result   uint64
+	finishAt uint64 // writeback cycle once executing
+
+	// Load bookkeeping.
+	addr        uint64 // virtual data address
+	paddr       uint64 // physical address
+	predTaken   bool   // fetch-time direction prediction (conditional branches)
+	actual      uint64 // architecturally correct loaded value
+	missLoad    bool   // load being served beyond the L1 (occupies an MSHR)
+	vpsEngaged  bool   // load missed to memory; predictor consulted
+	predicted   bool   // VPS produced a value
+	verified    bool   // verification completed
+	pred        predictor.Prediction
+	verifyAt    uint64 // cycle the real value returns
+	needInstall bool   // D-type: cache fill deferred to commit
+	fwdFrom     *entry // the store this load forwarded from, if any
+}
+
+// fullyDone reports whether the entry's result is architecturally
+// final: executed, and (for predicted loads) verified.
+func (e *entry) fullyDone() bool {
+	return e.state == stDone && (!e.predicted || e.verified)
+}
+
+// pipeline is the per-run execution state.
+type pipeline struct {
+	m    *Machine
+	proc *Process
+	cfg  *Config
+
+	rob    []*entry
+	rename [isa.NumRegs]*entry
+	regs   [isa.NumRegs]uint64
+
+	fetchPC         int
+	fetchStallUntil uint64
+	fetchDone       bool
+	halted          bool
+	seq             uint64
+	seqBase         uint64 // disambiguates trace seqs across SMT threads
+
+	// 2-bit bimodal direction counters, used when cfg.BimodalBranch.
+	bimodal [512]uint8
+
+	res RunResult
+}
+
+func newPipeline(m *Machine, proc *Process) *pipeline {
+	return &pipeline{m: m, proc: proc, cfg: &m.Cfg, regs: proc.Regs}
+}
+
+// emit records a pipeline trace event when tracing is enabled.
+func (p *pipeline) emit(kind trace.Kind, e *entry, now uint64, text string) {
+	if !p.m.Tracer.Enabled() {
+		return
+	}
+	p.m.Tracer.Record(trace.Event{Cycle: now, Kind: kind, Seq: e.seq, PC: e.pc, Text: text})
+}
+
+func (p *pipeline) ctxFor(e *entry) predictor.Context {
+	return predictor.Context{
+		PC:       uint64(e.pc) * VirtPCBytes,
+		Addr:     e.addr,
+		PhysAddr: e.paddr,
+		PID:      p.proc.PID,
+	}
+}
+
+// step advances the machine by one cycle; it returns true when HALT
+// has committed.
+func (p *pipeline) step() (bool, error) {
+	now := p.m.Cycle
+	p.verify(now)
+	p.finish(now)
+	p.resolveFences()
+	p.commit(now)
+	budget := issueBudget{ports: p.cfg.IssueWidth, mem: p.cfg.MemPorts, mul: p.cfg.MulPorts}
+	if err := p.issue(now, &budget); err != nil {
+		return false, err
+	}
+	p.fetch(now)
+	p.m.Cycle++
+	p.res.Cycles++
+	return p.halted, nil
+}
+
+// verify runs the Prediction Engine Verification (Fig. 1): when the
+// real value of a predicted load returns, the predictor trains and a
+// mismatch squashes all younger instructions.
+func (p *pipeline) verify(now uint64) {
+	for i := 0; i < len(p.rob); i++ {
+		e := p.rob[i]
+		if !e.predicted || e.verified || now < e.verifyAt {
+			continue
+		}
+		e.verified = true
+		p.m.Pred.Update(p.ctxFor(e), e.actual, e.pred)
+		if e.pred.Value == e.actual {
+			p.res.VerifyCorrect++
+			p.emit(trace.Verify, e, now, "correct")
+			continue
+		}
+		p.res.VerifyWrong++
+		p.emit(trace.Verify, e, now, "wrong")
+		e.result = e.actual
+		if p.cfg.SelectiveReplay {
+			p.replayDependents(e, i, now)
+			continue
+		}
+		p.squashAfter(i, e.pc+1, now+p.cfg.SquashPenalty)
+	}
+}
+
+// finish completes executions whose latency elapsed, broadcasts
+// results, trains the predictor on unpredicted misses, and resolves
+// branches.
+func (p *pipeline) finish(now uint64) {
+	for i := 0; i < len(p.rob); i++ {
+		e := p.rob[i]
+		if e.state != stExecuting || now < e.finishAt {
+			continue
+		}
+		e.state = stDone
+		p.emit(trace.Writeback, e, now, "")
+		if e.in.Op == isa.LOAD && e.vpsEngaged && !e.predicted {
+			// Training access: the miss completed without a prediction.
+			p.m.Pred.Update(p.ctxFor(e), e.actual, predictor.Prediction{})
+		}
+		if e.in.Op.IsBranch() {
+			taken := p.branchTaken(e)
+			if p.cfg.BimodalBranch {
+				p.trainBimodal(e.pc, taken)
+			}
+			if taken != e.predTaken {
+				p.res.BranchSquash++
+				redirect := e.in.Target
+				if !taken {
+					redirect = e.pc + 1
+				}
+				p.squashAfter(i, redirect, now+p.cfg.BranchPenalty)
+				continue
+			}
+			continue
+		}
+		if e.in.Op == isa.JALR {
+			// Indirect jump: the target is the register value, known
+			// only now. Fetch followed the fall-through, so redirect
+			// (and squash) unless the target happens to be pc+1.
+			p.wake(e) // the link value
+			target := int(e.src1.val)
+			if target != e.pc+1 {
+				p.res.BranchSquash++
+				p.squashAfter(i, target, now+p.cfg.BranchPenalty)
+			}
+			continue
+		}
+		if e.in.Op.WritesDst() {
+			p.wake(e)
+		}
+	}
+}
+
+func (p *pipeline) branchTaken(e *entry) bool {
+	a, b := e.src1.val, e.src2.val
+	switch e.in.Op {
+	case isa.BEQ:
+		return a == b
+	case isa.BNE:
+		return a != b
+	case isa.BLT:
+		return int64(a) < int64(b)
+	case isa.BGE:
+		return int64(a) >= int64(b)
+	}
+	return false
+}
+
+// wake broadcasts e's result to waiting consumers.
+func (p *pipeline) wake(e *entry) {
+	for _, x := range p.rob {
+		if x.src1.prod == e {
+			x.src1 = operand{ready: true, val: e.result, origProd: e}
+		}
+		if x.src2.prod == e {
+			x.src2 = operand{ready: true, val: e.result, origProd: e}
+		}
+	}
+}
+
+// resolveFences completes a FENCE only when it reaches the head of the
+// ROB, i.e. when every older instruction has committed — so
+// commit-time effects (stores, cache flushes) are globally visible and
+// pending value-prediction verifications have finished before any
+// younger instruction issues. This is what lets the timing-window
+// channel observe prediction outcomes through FENCE + RDTSC pairs, and
+// what makes FLUSH; FENCE; LOAD a guaranteed miss.
+func (p *pipeline) resolveFences() {
+	if len(p.rob) == 0 {
+		return
+	}
+	if e := p.rob[0]; e.in.Op == isa.FENCE && e.state != stDone {
+		e.state = stDone
+	}
+}
+
+// commit retires fully-done entries in order, applying architectural
+// and non-speculative microarchitectural effects.
+func (p *pipeline) commit(now uint64) {
+	for n := 0; n < p.cfg.CommitWidth && len(p.rob) > 0; n++ {
+		e := p.rob[0]
+		if !e.fullyDone() {
+			return
+		}
+		switch e.in.Op {
+		case isa.STORE:
+			p.m.Hier.Mem.Write(e.paddr, e.src2.val)
+			p.m.Hier.InstallDirty(e.paddr)
+		case isa.FLUSH:
+			p.m.Hier.Flush(e.paddr)
+			dbg("%d: commit FLUSH pc=%d paddr=%#x", now, e.pc, e.paddr)
+		case isa.LOAD:
+			if e.needInstall {
+				p.m.Hier.Install(e.paddr)
+			}
+		case isa.HALT:
+			p.halted = true
+		}
+		if e.in.Op.WritesDst() && e.in.Dst != isa.R0 {
+			p.regs[e.in.Dst] = e.result
+		}
+		if p.rename[e.in.Dst] == e {
+			p.rename[e.in.Dst] = nil
+		}
+		p.emit(trace.Commit, e, now, "")
+		p.rob = p.rob[1:]
+		p.res.Retired++
+		if p.halted {
+			return
+		}
+	}
+}
+
+// issueBudget is one cycle's worth of structural resources. A single
+// hardware thread gets a fresh budget each cycle; SMT threads share
+// one (RunSMT), which is what makes port contention cross-thread
+// observable.
+type issueBudget struct {
+	ports int
+	mem   int
+	mul   int // the multiply/divide unit's issue slots
+}
+
+// issue selects ready entries oldest-first and starts execution,
+// bounded by the cycle's remaining issue ports and memory ports.
+func (p *pipeline) issue(now uint64, budget *issueBudget) error {
+	// Entries younger than an unresolved FENCE may not issue.
+	fenceIdx := len(p.rob)
+	for i, e := range p.rob {
+		if e.in.Op == isa.FENCE && e.state != stDone {
+			fenceIdx = i
+			break
+		}
+	}
+	for i := 0; i < len(p.rob); i++ {
+		if i > fenceIdx {
+			break
+		}
+		e := p.rob[i]
+		if e.state != stWaiting || e.in.Op == isa.FENCE {
+			continue
+		}
+		if !e.src1.ready || !e.src2.ready {
+			continue
+		}
+		if budget.ports <= 0 {
+			// Ready but no issue port left this cycle: the structural
+			// contention an SMT co-runner feels (volatile channel).
+			p.res.PortConflicts++
+			if p.cfg.RecordConflicts {
+				for uint64(len(p.res.ConflictSeries)) <= p.res.Cycles {
+					p.res.ConflictSeries = append(p.res.ConflictSeries, 0)
+				}
+				p.res.ConflictSeries[p.res.Cycles]++
+			}
+			continue
+		}
+		switch e.in.Op {
+		case isa.LOAD, isa.STORE, isa.FLUSH:
+			if budget.mem <= 0 {
+				continue
+			}
+			ok, err := p.issueMem(e, i, now)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			budget.mem--
+		case isa.MUL, isa.MULHU, isa.DIVU, isa.REMU:
+			// The multiply/divide unit has its own (narrow) issue port —
+			// the port-type asymmetry SMoTherSpectre-style fingerprinting
+			// keys on.
+			if budget.mul <= 0 {
+				p.res.PortConflicts++
+				if p.cfg.RecordConflicts {
+					for uint64(len(p.res.ConflictSeries)) <= p.res.Cycles {
+						p.res.ConflictSeries = append(p.res.ConflictSeries, 0)
+					}
+					p.res.ConflictSeries[p.res.Cycles]++
+				}
+				continue
+			}
+			budget.mul--
+			e.result = p.aluResult(e)
+			e.state = stExecuting
+			e.finishAt = now + p.aluLatency(e.in.Op)
+		case isa.RDTSC:
+			// Serializing read of the time base: waits for all older
+			// instructions, like rdtscp.
+			ready := true
+			for _, o := range p.rob[:i] {
+				if !o.fullyDone() {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			e.result = now
+			e.state = stExecuting
+			e.finishAt = now + 1
+		default:
+			e.result = p.aluResult(e)
+			e.state = stExecuting
+			e.finishAt = now + p.aluLatency(e.in.Op)
+		}
+		p.emit(trace.Issue, e, now, "")
+		budget.ports--
+	}
+	return nil
+}
+
+func (p *pipeline) aluLatency(op isa.Op) uint64 {
+	switch op {
+	case isa.MUL, isa.MULHU:
+		return p.cfg.MulLatency
+	case isa.DIVU, isa.REMU:
+		return p.cfg.DivLatency
+	}
+	return p.cfg.ALULatency
+}
+
+func (p *pipeline) aluResult(e *entry) uint64 {
+	a, b := e.src1.val, e.src2.val
+	imm := uint64(e.in.Imm)
+	switch e.in.Op {
+	case isa.MOVI:
+		return imm
+	case isa.MOV:
+		return a
+	case isa.ADD:
+		return a + b
+	case isa.SUB:
+		return a - b
+	case isa.MUL:
+		return a * b
+	case isa.MULHU:
+		hi, _ := isa.Mul128(a, b)
+		return hi
+	case isa.DIVU:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		return a / b
+	case isa.REMU:
+		if b == 0 {
+			return a
+		}
+		return a % b
+	case isa.AND:
+		return a & b
+	case isa.OR:
+		return a | b
+	case isa.XOR:
+		return a ^ b
+	case isa.SLTU:
+		if a < b {
+			return 1
+		}
+		return 0
+	case isa.ADDI:
+		return a + imm
+	case isa.ANDI:
+		return a & imm
+	case isa.SHLI:
+		return a << (imm & 63)
+	case isa.SHRI:
+		return a >> (imm & 63)
+	case isa.JALR:
+		return uint64(e.pc + 1) // the link; the jump resolves in finish
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.NOP:
+		return 0
+	}
+	return 0
+}
+
+// issueMem starts a memory-class instruction. It returns false when
+// the instruction must stall this cycle (memory disambiguation).
+func (p *pipeline) issueMem(e *entry, idx int, now uint64) (bool, error) {
+	e.addr = e.src1.val + uint64(e.in.Imm)
+	e.paddr = e.addr + p.proc.PhysBase
+
+	switch e.in.Op {
+	case isa.STORE, isa.FLUSH:
+		// Address (and data, for stores) computed; effects at commit.
+		e.state = stExecuting
+		e.finishAt = now + 1
+		dbg("%d: issue %v pc=%d paddr=%#x", now, e.in.Op, e.pc, e.paddr)
+		return true, nil
+	}
+
+	// LOAD: conservative disambiguation — all older stores must have
+	// known addresses; the youngest older store to the same word
+	// forwards its data.
+	for j := idx - 1; j >= 0; j-- {
+		s := p.rob[j]
+		if s.in.Op != isa.STORE {
+			continue
+		}
+		if !s.src1.ready {
+			return false, nil // unknown older store address
+		}
+		if s.src1.val+uint64(s.in.Imm) != e.addr {
+			continue
+		}
+		if !s.src2.ready {
+			return false, nil // matching store, data not ready
+		}
+		e.result = s.src2.val
+		e.actual = s.src2.val
+		e.fwdFrom = s
+		e.state = stExecuting
+		e.finishAt = now + 1
+		p.res.Forwards++
+		return true, nil
+	}
+
+	// Miss-status holding registers: a load that will miss the L1 needs
+	// a free MSHR; with all of them busy it must retry next cycle.
+	if !p.m.Hier.L1.Contains(e.paddr) && p.outstandingMisses() >= p.cfg.MSHRs {
+		return false, nil
+	}
+
+	install := !p.cfg.DelaySideEffects
+	lat, served := p.m.Hier.Access(e.paddr, install)
+	dbg("%d: issue LOAD pc=%d paddr=%#x served=%v lat=%d", now, e.pc, e.paddr, served, lat)
+	if served == mem.LevelMem && p.m.Noise.MemJitter > 0 {
+		lat += uint64(p.m.Rng.Int63n(int64(p.m.Noise.MemJitter) + 1))
+	} else if served != mem.LevelMem && p.m.Noise.HitJitter > 0 {
+		lat += uint64(p.m.Rng.Int63n(int64(p.m.Noise.HitJitter) + 1))
+	}
+	if p.cfg.DelaySideEffects {
+		e.needInstall = true
+	}
+	e.actual = p.m.Hier.Mem.Read(e.paddr)
+	e.state = stExecuting
+	if served != mem.LevelL1 {
+		p.res.LoadMisses++
+		e.missLoad = true
+	}
+	if served != mem.LevelMem {
+		// Cache hit (L1 or L2): the load-based VPS is not engaged
+		// (Sec. II: train/modify/trigger all require a cache miss).
+		e.result = e.actual
+		e.finishAt = now + lat
+		return true, nil
+	}
+
+	// Full miss: consult the Value Prediction System.
+	e.vpsEngaged = true
+	pred := p.m.Pred.Predict(p.ctxFor(e))
+	if pred.Hit {
+		p.emit(trace.Predict, e, now, "")
+		// Forward the speculated value next cycle; verification fires
+		// when the real data arrives.
+		e.predicted = true
+		e.pred = pred
+		e.result = pred.Value
+		e.finishAt = now + 1
+		e.verifyAt = now + lat
+		p.res.Predictions++
+	} else {
+		e.result = e.actual
+		e.finishAt = now + lat
+		p.res.NoPredictions++
+	}
+	return true, nil
+}
+
+// outstandingMisses counts loads currently occupying an MSHR: issued,
+// serving beyond the L1, and not yet written back (for predicted loads
+// the miss completes at verification).
+func (p *pipeline) outstandingMisses() int {
+	n := 0
+	now := p.m.Cycle
+	for _, e := range p.rob {
+		if !e.missLoad {
+			continue
+		}
+		if e.predicted {
+			if !e.verified && e.verifyAt > now {
+				n++
+			}
+			continue
+		}
+		if e.state == stExecuting && e.finishAt > now {
+			n++
+		}
+	}
+	return n
+}
+
+// replayDependents re-executes only the dependence closure of a
+// mispredicted load: every younger entry that (transitively) consumed
+// its value is reset to waiting and re-sourced from the corrected
+// result. Side effects its speculative execution already caused (cache
+// fills of wrong-path dependent loads) remain — the transient channel
+// exists under selective replay too.
+func (p *pipeline) replayDependents(load *entry, idx int, now uint64) {
+	affected := map[*entry]bool{load: true}
+	// Once a store with an affected ADDRESS is replayed, every younger
+	// load's disambiguation decision is suspect: replay them all.
+	storeAddrHazard := false
+	for j := idx + 1; j < len(p.rob); j++ {
+		e := p.rob[j]
+		hit := affected[e.src1.origProd] || affected[e.src2.origProd] ||
+			affected[e.fwdFrom] // store-buffer forwards carry data too
+		if e.in.Op == isa.LOAD && storeAddrHazard {
+			hit = true
+		}
+		if !hit {
+			continue
+		}
+		affected[e] = true
+		if e.in.Op == isa.STORE && affected[e.src1.origProd] {
+			storeAddrHazard = true
+		}
+		if e.state != stWaiting {
+			p.emit(trace.Squash, e, now, "replay")
+		}
+		p.resetForReplay(e)
+	}
+}
+
+// resetForReplay returns an entry to the waiting state with operands
+// re-sourced from their original producers.
+func (p *pipeline) resetForReplay(e *entry) {
+	resrc := func(o *operand) {
+		if o.origProd == nil {
+			return // architectural value: still correct
+		}
+		if o.origProd.fullyDone() {
+			*o = operand{ready: true, val: o.origProd.result, origProd: o.origProd}
+		} else {
+			*o = operand{ready: false, prod: o.origProd, origProd: o.origProd}
+		}
+	}
+	resrc(&e.src1)
+	resrc(&e.src2)
+	e.state = stWaiting
+	e.predicted = false
+	e.verified = false
+	e.vpsEngaged = false
+	e.missLoad = false
+	e.needInstall = false
+	e.fwdFrom = nil
+	e.finishAt = 0
+}
+
+// squashAfter drops every entry younger than rob[idx], rebuilds the
+// rename map, and redirects fetch to newPC after stallUntil.
+func (p *pipeline) squashAfter(idx int, newPC int, stallUntil uint64) {
+	if p.m.Tracer.Enabled() {
+		for _, e := range p.rob[idx+1:] {
+			p.emit(trace.Squash, e, p.m.Cycle, "")
+		}
+	}
+	p.rob = p.rob[:idx+1]
+	for r := range p.rename {
+		p.rename[r] = nil
+	}
+	for _, e := range p.rob {
+		if e.in.Op.WritesDst() && e.in.Dst != isa.R0 {
+			p.rename[e.in.Dst] = e
+		}
+	}
+	p.fetchPC = newPC
+	if stallUntil > p.fetchStallUntil {
+		p.fetchStallUntil = stallUntil
+	}
+	p.fetchDone = false
+	p.halted = false
+}
+
+// fetch renames up to FetchWidth instructions into the ROB, following
+// unconditional jumps immediately and predicting conditional branches
+// not-taken.
+func (p *pipeline) fetch(now uint64) {
+	if p.fetchDone || now < p.fetchStallUntil {
+		return
+	}
+	for n := 0; n < p.cfg.FetchWidth && len(p.rob) < p.cfg.ROBSize && !p.fetchDone; n++ {
+		if p.fetchPC < 0 || p.fetchPC >= len(p.proc.Prog.Code) {
+			// Validate guarantees HALT-terminated programs; reaching
+			// here means a squash redirected past the end.
+			p.fetchDone = true
+			return
+		}
+		in := p.proc.Prog.Code[p.fetchPC]
+		e := &entry{seq: p.seqBase + p.seq, pc: p.fetchPC, in: in}
+		p.seq++
+		e.src1 = p.capture(in.Src1, in.Op.ReadsSrc1())
+		e.src2 = p.capture(in.Src2, in.Op.ReadsSrc2())
+
+		switch in.Op {
+		case isa.JMP:
+			e.state = stDone
+			p.fetchPC = in.Target
+		case isa.JAL:
+			// Call: the link value is known at fetch, the target is
+			// static — resolve both immediately.
+			e.state = stDone
+			e.result = uint64(e.pc + 1)
+			p.fetchPC = in.Target
+		case isa.HALT:
+			e.state = stDone
+			p.fetchDone = true
+		case isa.NOP:
+			e.state = stDone
+			p.fetchPC++
+		case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+			// Direction prediction: static not-taken, or the bimodal
+			// counter when enabled.
+			if p.cfg.BimodalBranch && p.predictTaken(p.fetchPC) {
+				e.predTaken = true
+				p.fetchPC = in.Target
+			} else {
+				p.fetchPC++
+			}
+		default:
+			p.fetchPC++
+		}
+		p.emit(trace.Fetch, e, now, in.String())
+		p.rob = append(p.rob, e)
+		if in.Op.WritesDst() && in.Dst != isa.R0 {
+			p.rename[in.Dst] = e
+		}
+	}
+}
+
+// capture resolves a source register at rename time: a concrete value
+// from the architectural file or a completed producer, or a tag on the
+// in-flight producer.
+func (p *pipeline) capture(r isa.Reg, needed bool) operand {
+	if !needed || r == isa.R0 {
+		return operand{ready: true}
+	}
+	if prod := p.rename[r]; prod != nil {
+		if prod.state == stDone {
+			return operand{ready: true, val: prod.result, origProd: prod}
+		}
+		return operand{ready: false, prod: prod, origProd: prod}
+	}
+	return operand{ready: true, val: p.regs[r]}
+}
+
+// predictTaken consults the 2-bit bimodal counter for the branch at pc.
+func (p *pipeline) predictTaken(pc int) bool {
+	return p.bimodal[pc%len(p.bimodal)] >= 2
+}
+
+// trainBimodal updates the counter with the resolved direction.
+func (p *pipeline) trainBimodal(pc int, taken bool) {
+	c := &p.bimodal[pc%len(p.bimodal)]
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}

@@ -1,0 +1,61 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"vpsec/internal/isa"
+	"vpsec/internal/predictor"
+)
+
+func TestSelectiveReplayForwardingHazard(t *testing.T) {
+	// Train a load, then mispredict it while a store forwards the
+	// predicted-derived value to a younger load.
+	b := isa.NewBuilder("fwd-hazard")
+	b.Word(0x1000, 5)
+	b.MovI(isa.R1, 0x1000)
+	b.MovI(isa.R9, 0x2000)
+	b.MovI(isa.R14, 1)
+	b.MovI(isa.R3, 0)
+	b.MovI(isa.R4, 3)
+	b.Label("loop")
+	b.Flush(isa.R1, 0)
+	b.Fence()
+	b.Load(isa.R2, isa.R1, 0)      // predicted load
+	b.Add(isa.R5, isa.R2, isa.R2)  // derived value
+	b.Store(isa.R9, 0, isa.R5)     // store the derived value
+	b.Load(isa.R6, isa.R9, 0)      // forwards from the store
+	b.Add(isa.R10, isa.R6, isa.R0) // consume
+	b.Fence()
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Blt(isa.R3, isa.R4, "loop")
+	b.Beq(isa.R15, isa.R14, "end")
+	b.MovI(isa.R15, 1)
+	b.MovI(isa.R7, 9)
+	b.Store(isa.R1, 0, isa.R7) // value change: next prediction wrong
+	b.Fence()
+	b.MovI(isa.R4, 4)
+	b.Jmp("loop")
+	b.Label("end")
+	b.Halt()
+	prog := b.MustBuild()
+
+	it := isa.NewInterp(prog)
+	if _, err := it.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	lvp, _ := predictor.NewLVP(predictor.LVPConfig{Confidence: 2})
+	m, _ := NewMachine(Config{SelectiveReplay: true}, nil, lvp, rand.New(rand.NewSource(3)))
+	proc, _ := m.NewProcess(1, prog, 0)
+	res, err := m.Run(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyWrong == 0 {
+		t.Fatal("no misprediction; probe broken")
+	}
+	if res.Regs != it.Regs {
+		t.Errorf("forwarding hazard: r6=%d r10=%d, want %d %d",
+			res.Regs[isa.R6], res.Regs[isa.R10], it.Regs[isa.R6], it.Regs[isa.R10])
+	}
+}

@@ -1,0 +1,65 @@
+package cpu
+
+import "fmt"
+
+// RunSMT executes two processes simultaneously on one core, 2-way
+// SMT style: each hardware thread has its own ROB, rename map and
+// fetch stream, but the threads share the caches, the value predictor,
+// the global cycle counter, and — critically for the volatile channel
+// — the issue ports and memory ports. Port priority alternates each
+// cycle (round-robin fairness). When one thread halts, the other keeps
+// the full machine to itself.
+//
+// The per-thread RunResults count only the cycles during which that
+// thread was still running.
+func (m *Machine) RunSMT(a, b *Process) (RunResult, RunResult, error) {
+	pa := newPipeline(m, a)
+	pb := newPipeline(m, b)
+	// Keep trace sequence numbers disjoint between the two hardware
+	// threads.
+	pb.seqBase = 1 << 32
+	doneA, doneB := false, false
+
+	var guard uint64
+	for !doneA || !doneB {
+		now := m.Cycle
+		budget := issueBudget{ports: m.Cfg.IssueWidth, mem: m.Cfg.MemPorts, mul: m.Cfg.MulPorts}
+
+		first, second := pa, pb
+		firstDone, secondDone := &doneA, &doneB
+		if now%2 == 1 {
+			first, second = pb, pa
+			firstDone, secondDone = &doneB, &doneA
+		}
+		for _, t := range []struct {
+			p    *pipeline
+			done *bool
+		}{{first, firstDone}, {second, secondDone}} {
+			if *t.done {
+				continue
+			}
+			t.p.verify(now)
+			t.p.finish(now)
+			t.p.resolveFences()
+			t.p.commit(now)
+			if err := t.p.issue(now, &budget); err != nil {
+				return pa.res, pb.res, err
+			}
+			t.p.fetch(now)
+			t.p.res.Cycles++
+			if t.p.halted {
+				*t.done = true
+			}
+		}
+		m.Cycle++
+		guard++
+		if guard >= m.Cfg.MaxCycles {
+			return pa.res, pb.res, fmt.Errorf("cpu: SMT run exceeded %d cycles", m.Cfg.MaxCycles)
+		}
+	}
+	a.Regs = pa.regs
+	pa.res.Regs = pa.regs
+	b.Regs = pb.regs
+	pb.res.Regs = pb.regs
+	return pa.res, pb.res, nil
+}

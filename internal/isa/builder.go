@@ -1,0 +1,249 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program through a fluent API with symbolic
+// labels. The attack generators in internal/attacks and internal/rsa
+// use it to emit the sender/receiver code of Figs. 3, 4 and 6.
+type Builder struct {
+	prog    *Program
+	pending map[string][]int // label -> instruction indices awaiting a target
+	labels  map[string]int
+	err     error
+}
+
+// NewBuilder starts building a named program.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		prog:    NewProgram(name),
+		pending: make(map[string][]int),
+		labels:  make(map[string]int),
+	}
+}
+
+func (b *Builder) emit(in Instr) *Builder {
+	b.prog.Code = append(b.prog.Code, in)
+	return b
+}
+
+// Label binds name to the next emitted instruction and resolves any
+// forward references to it.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup && b.err == nil {
+		b.err = fmt.Errorf("isa: duplicate label %q", name)
+		return b
+	}
+	at := len(b.prog.Code)
+	b.labels[name] = at
+	for _, i := range b.pending[name] {
+		b.prog.Code[i].Target = at
+	}
+	delete(b.pending, name)
+	return b
+}
+
+func (b *Builder) target(name string) int {
+	if at, ok := b.labels[name]; ok {
+		return at
+	}
+	// Forward reference: patch when the label is defined.
+	b.pending[name] = append(b.pending[name], len(b.prog.Code))
+	return -1
+}
+
+// Nop emits a no-op (the PoCs use NOP padding to align attacker PCs
+// with victim PCs, Fig. 3 receiver lines 2-4).
+func (b *Builder) Nop() *Builder { return b.emit(Instr{Op: NOP}) }
+
+// Halt emits program termination.
+func (b *Builder) Halt() *Builder { return b.emit(Instr{Op: HALT}) }
+
+// MovI emits dst = imm.
+func (b *Builder) MovI(dst Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: MOVI, Dst: dst, Imm: imm})
+}
+
+// Mov emits dst = src.
+func (b *Builder) Mov(dst, src Reg) *Builder {
+	return b.emit(Instr{Op: MOV, Dst: dst, Src1: src})
+}
+
+// Add emits dst = s1 + s2.
+func (b *Builder) Add(dst, s1, s2 Reg) *Builder {
+	return b.emit(Instr{Op: ADD, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// Sub emits dst = s1 - s2.
+func (b *Builder) Sub(dst, s1, s2 Reg) *Builder {
+	return b.emit(Instr{Op: SUB, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// Mul emits dst = low 64 bits of s1*s2.
+func (b *Builder) Mul(dst, s1, s2 Reg) *Builder {
+	return b.emit(Instr{Op: MUL, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// MulHU emits dst = high 64 bits of unsigned s1*s2.
+func (b *Builder) MulHU(dst, s1, s2 Reg) *Builder {
+	return b.emit(Instr{Op: MULHU, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// DivU emits dst = s1 / s2 unsigned.
+func (b *Builder) DivU(dst, s1, s2 Reg) *Builder {
+	return b.emit(Instr{Op: DIVU, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// RemU emits dst = s1 % s2 unsigned.
+func (b *Builder) RemU(dst, s1, s2 Reg) *Builder {
+	return b.emit(Instr{Op: REMU, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// And emits dst = s1 & s2.
+func (b *Builder) And(dst, s1, s2 Reg) *Builder {
+	return b.emit(Instr{Op: AND, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// Or emits dst = s1 | s2.
+func (b *Builder) Or(dst, s1, s2 Reg) *Builder {
+	return b.emit(Instr{Op: OR, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// Xor emits dst = s1 ^ s2.
+func (b *Builder) Xor(dst, s1, s2 Reg) *Builder {
+	return b.emit(Instr{Op: XOR, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// SltU emits dst = 1 if s1 < s2 (unsigned), else 0 — the carry/borrow
+// primitive multi-limb arithmetic needs.
+func (b *Builder) SltU(dst, s1, s2 Reg) *Builder {
+	return b.emit(Instr{Op: SLTU, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// AddI emits dst = s1 + imm.
+func (b *Builder) AddI(dst, s1 Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: ADDI, Dst: dst, Src1: s1, Imm: imm})
+}
+
+// AndI emits dst = s1 & imm.
+func (b *Builder) AndI(dst, s1 Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: ANDI, Dst: dst, Src1: s1, Imm: imm})
+}
+
+// ShlI emits dst = s1 << imm.
+func (b *Builder) ShlI(dst, s1 Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: SHLI, Dst: dst, Src1: s1, Imm: imm})
+}
+
+// ShrI emits dst = s1 >> imm (logical).
+func (b *Builder) ShrI(dst, s1 Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: SHRI, Dst: dst, Src1: s1, Imm: imm})
+}
+
+// Load emits dst = mem64[base + off].
+func (b *Builder) Load(dst, base Reg, off int64) *Builder {
+	return b.emit(Instr{Op: LOAD, Dst: dst, Src1: base, Imm: off})
+}
+
+// Store emits mem64[base + off] = src.
+func (b *Builder) Store(base Reg, off int64, src Reg) *Builder {
+	return b.emit(Instr{Op: STORE, Src1: base, Imm: off, Src2: src})
+}
+
+// Flush emits a cache-line flush of address base + off (clflush).
+func (b *Builder) Flush(base Reg, off int64) *Builder {
+	return b.emit(Instr{Op: FLUSH, Src1: base, Imm: off})
+}
+
+// Fence emits a full serializing fence.
+func (b *Builder) Fence() *Builder { return b.emit(Instr{Op: FENCE}) }
+
+// Rdtsc emits dst = cycle counter (serializing, like rdtscp).
+func (b *Builder) Rdtsc(dst Reg) *Builder {
+	return b.emit(Instr{Op: RDTSC, Dst: dst})
+}
+
+// Beq emits a conditional branch to label when s1 == s2.
+func (b *Builder) Beq(s1, s2 Reg, label string) *Builder {
+	return b.emit(Instr{Op: BEQ, Src1: s1, Src2: s2, Target: b.target(label)})
+}
+
+// Bne emits a conditional branch to label when s1 != s2.
+func (b *Builder) Bne(s1, s2 Reg, label string) *Builder {
+	return b.emit(Instr{Op: BNE, Src1: s1, Src2: s2, Target: b.target(label)})
+}
+
+// Blt emits a conditional branch to label when int64(s1) < int64(s2).
+func (b *Builder) Blt(s1, s2 Reg, label string) *Builder {
+	return b.emit(Instr{Op: BLT, Src1: s1, Src2: s2, Target: b.target(label)})
+}
+
+// Bge emits a conditional branch to label when int64(s1) >= int64(s2).
+func (b *Builder) Bge(s1, s2 Reg, label string) *Builder {
+	return b.emit(Instr{Op: BGE, Src1: s1, Src2: s2, Target: b.target(label)})
+}
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) *Builder {
+	return b.emit(Instr{Op: JMP, Target: b.target(label)})
+}
+
+// Jal emits a call: link = pc+1 into dst, jump to label.
+func (b *Builder) Jal(dst Reg, label string) *Builder {
+	return b.emit(Instr{Op: JAL, Dst: dst, Target: b.target(label)})
+}
+
+// Jalr emits an indirect jump to the instruction index in src, writing
+// the link into dst (use R0 to discard it — a plain return).
+func (b *Builder) Jalr(dst, src Reg) *Builder {
+	return b.emit(Instr{Op: JALR, Dst: dst, Src1: src})
+}
+
+// Word records an initial data word at addr.
+func (b *Builder) Word(addr, value uint64) *Builder {
+	b.prog.SetWord(addr, value)
+	return b
+}
+
+// PC returns the index of the next instruction to be emitted.
+func (b *Builder) PC() int { return len(b.prog.Code) }
+
+// PadTo emits NOPs until the next instruction lands at pc, so a
+// receiver can align a load with the sender's predictor index, as in
+// Fig. 3 ("pad to map to sender's index 5").
+func (b *Builder) PadTo(pc int) *Builder {
+	if pc < len(b.prog.Code) && b.err == nil {
+		b.err = fmt.Errorf("isa: PadTo(%d) but already at %d", pc, len(b.prog.Code))
+		return b
+	}
+	for len(b.prog.Code) < pc {
+		b.Nop()
+	}
+	return b
+}
+
+// Build finalizes the program, failing on unresolved labels or
+// validation errors.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.pending) > 0 {
+		for name := range b.pending {
+			return nil, fmt.Errorf("isa: undefined label %q", name)
+		}
+	}
+	if err := b.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustBuild is Build that panics on error; for tests and fixed
+// generators whose inputs are compile-time constants.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,172 @@
+package isa
+
+import "fmt"
+
+// Interp is a functional (untimed) reference interpreter. It defines
+// the architectural semantics of the ISA and serves as the golden
+// model against which the out-of-order pipeline in internal/cpu is
+// validated: any program must leave identical registers and memory on
+// both. FLUSH and FENCE are architectural no-ops here; RDTSC returns a
+// monotonically increasing instruction count.
+type Interp struct {
+	Regs  [NumRegs]uint64
+	Mem   map[uint64]uint64
+	Steps uint64 // retired instruction count, also the RDTSC value
+
+	// OnLoad, when non-nil, observes every executed LOAD (the dynamic
+	// load-value stream). internal/locality uses it to audit a
+	// program's value-predictability — its VPS attack surface —
+	// without involving the timed pipeline.
+	OnLoad func(pc int, addr, value uint64)
+}
+
+// NewInterp returns an interpreter with the program's initial data
+// loaded.
+func NewInterp(p *Program) *Interp {
+	in := &Interp{Mem: make(map[uint64]uint64)}
+	for a, v := range p.Data {
+		in.Mem[a] = v
+	}
+	return in
+}
+
+// MaxSteps bounds Run to protect against non-terminating programs.
+const MaxSteps = 50_000_000
+
+// Run executes p until HALT, returning the number of retired
+// instructions.
+func (it *Interp) Run(p *Program) (uint64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	pc := 0
+	for it.Steps < MaxSteps {
+		if pc < 0 || pc >= len(p.Code) {
+			return it.Steps, fmt.Errorf("isa: pc %d out of range in %q", pc, p.Name)
+		}
+		in := p.Code[pc]
+		it.Steps++
+		next := pc + 1
+		switch in.Op {
+		case NOP, FENCE, FLUSH:
+			// no architectural effect
+		case HALT:
+			return it.Steps, nil
+		case MOVI:
+			it.set(in.Dst, uint64(in.Imm))
+		case MOV:
+			it.set(in.Dst, it.Regs[in.Src1])
+		case ADD:
+			it.set(in.Dst, it.Regs[in.Src1]+it.Regs[in.Src2])
+		case SUB:
+			it.set(in.Dst, it.Regs[in.Src1]-it.Regs[in.Src2])
+		case MUL:
+			it.set(in.Dst, it.Regs[in.Src1]*it.Regs[in.Src2])
+		case MULHU:
+			hi, _ := mul128(it.Regs[in.Src1], it.Regs[in.Src2])
+			it.set(in.Dst, hi)
+		case DIVU:
+			d := it.Regs[in.Src2]
+			if d == 0 {
+				it.set(in.Dst, ^uint64(0))
+			} else {
+				it.set(in.Dst, it.Regs[in.Src1]/d)
+			}
+		case REMU:
+			d := it.Regs[in.Src2]
+			if d == 0 {
+				it.set(in.Dst, it.Regs[in.Src1])
+			} else {
+				it.set(in.Dst, it.Regs[in.Src1]%d)
+			}
+		case AND:
+			it.set(in.Dst, it.Regs[in.Src1]&it.Regs[in.Src2])
+		case OR:
+			it.set(in.Dst, it.Regs[in.Src1]|it.Regs[in.Src2])
+		case XOR:
+			it.set(in.Dst, it.Regs[in.Src1]^it.Regs[in.Src2])
+		case SLTU:
+			if it.Regs[in.Src1] < it.Regs[in.Src2] {
+				it.set(in.Dst, 1)
+			} else {
+				it.set(in.Dst, 0)
+			}
+		case ADDI:
+			it.set(in.Dst, it.Regs[in.Src1]+uint64(in.Imm))
+		case ANDI:
+			it.set(in.Dst, it.Regs[in.Src1]&uint64(in.Imm))
+		case SHLI:
+			it.set(in.Dst, it.Regs[in.Src1]<<(uint64(in.Imm)&63))
+		case SHRI:
+			it.set(in.Dst, it.Regs[in.Src1]>>(uint64(in.Imm)&63))
+		case LOAD:
+			addr := it.Regs[in.Src1] + uint64(in.Imm)
+			v := it.Mem[addr]
+			it.set(in.Dst, v)
+			if it.OnLoad != nil {
+				it.OnLoad(pc, addr, v)
+			}
+		case STORE:
+			it.Mem[it.Regs[in.Src1]+uint64(in.Imm)] = it.Regs[in.Src2]
+		case RDTSC:
+			it.set(in.Dst, it.Steps)
+		case BEQ:
+			if it.Regs[in.Src1] == it.Regs[in.Src2] {
+				next = in.Target
+			}
+		case BNE:
+			if it.Regs[in.Src1] != it.Regs[in.Src2] {
+				next = in.Target
+			}
+		case BLT:
+			if int64(it.Regs[in.Src1]) < int64(it.Regs[in.Src2]) {
+				next = in.Target
+			}
+		case BGE:
+			if int64(it.Regs[in.Src1]) >= int64(it.Regs[in.Src2]) {
+				next = in.Target
+			}
+		case JMP:
+			next = in.Target
+		case JAL:
+			it.set(in.Dst, uint64(pc+1))
+			next = in.Target
+		case JALR:
+			it.set(in.Dst, uint64(pc+1))
+			next = int(it.Regs[in.Src1])
+		default:
+			return it.Steps, fmt.Errorf("isa: unimplemented op %v", in.Op)
+		}
+		pc = next
+	}
+	return it.Steps, fmt.Errorf("isa: program %q exceeded %d steps", p.Name, MaxSteps)
+}
+
+func (it *Interp) set(r Reg, v uint64) {
+	if r != R0 {
+		it.Regs[r] = v
+	}
+}
+
+// mul128 returns the 128-bit product of a and b as (hi, lo).
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	carry := t >> 32
+	t = aHi*bLo + carry
+	mid1 := t & mask
+	hi1 := t >> 32
+	t = aLo*bHi + mid1
+	mid2 := t & mask
+	hi2 := t >> 32
+	hi = aHi*bHi + hi1 + hi2
+	lo |= mid2 << 32
+	return hi, lo
+}
+
+// Mul128 exposes the widening multiply for reuse (internal/mpi and the
+// pipeline's MULHU unit share these semantics).
+func Mul128(a, b uint64) (hi, lo uint64) { return mul128(a, b) }

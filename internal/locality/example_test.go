@@ -1,0 +1,36 @@
+package locality_test
+
+import (
+	"fmt"
+
+	"vpsec/internal/isa"
+	"vpsec/internal/locality"
+)
+
+// Auditing a toy victim: a scalar flag reloaded every iteration is
+// last-value predictable, so it would train a VPS entry — if the flag
+// is secret, the paper's Train+Hit and Test+Hit attacks apply to
+// exactly this load.
+func ExampleProfile() {
+	b := isa.NewBuilder("toy-victim")
+	b.Word(0x1000, 1) // the (secret) flag
+	b.MovI(isa.R1, 0x1000)
+	b.MovI(isa.R2, 0)
+	b.MovI(isa.R3, 8)
+	b.Label("loop")
+	b.Load(isa.R4, isa.R1, 0) // reload the flag
+	b.AddI(isa.R2, isa.R2, 1)
+	b.Blt(isa.R2, isa.R3, "loop")
+	b.Halt()
+
+	r, err := locality.Profile(b.MustBuild())
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range r.Surface(locality.DefaultThreshold) {
+		fmt.Printf("pc %d: %s predictable over %d executions\n",
+			s.PC, s.Best(locality.DefaultThreshold), s.Count)
+	}
+	// Output:
+	// pc 3: last-value predictable over 8 executions
+}

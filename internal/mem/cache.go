@@ -1,0 +1,236 @@
+// Package mem models the simulator's memory system: set-associative
+// caches with LRU replacement and CLFLUSH support, a TLB, and a
+// fixed-latency DRAM, composed into a two-level Hierarchy. It plays
+// the role of gem5's Ruby cache system in the paper's experimental
+// setup: the attacks only need hit-vs-miss timing contrast, a flush
+// primitive, and the ability of speculative loads to install lines.
+//
+// The caches are timing-only: data values live in Memory, and cache
+// state determines access latency. This matches how the attacks use
+// the hierarchy (they never depend on incoherent cached data).
+package mem
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Policy selects a cache replacement policy.
+type Policy uint8
+
+// Replacement policies.
+const (
+	LRU    Policy = iota // least recently used (default)
+	FIFO                 // insertion order; hits do not refresh
+	Random               // uniformly random victim (needs a seed)
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case Random:
+		return "random"
+	}
+	return "?"
+}
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name       string
+	Sets       int    // number of sets (power of two)
+	Ways       int    // associativity
+	LineBytes  uint64 // line size in bytes (power of two)
+	HitLatency uint64 // cycles for a hit at this level
+	Policy     Policy // replacement policy; zero value is LRU
+	Seed       int64  // RNG seed for the Random policy
+}
+
+// Validate checks structural sanity.
+func (c CacheConfig) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("mem: %s: sets %d not a positive power of two", c.Name, c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("mem: %s: ways %d invalid", c.Name, c.Ways)
+	}
+	if c.LineBytes == 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("mem: %s: line size %d not a positive power of two", c.Name, c.LineBytes)
+	}
+	return nil
+}
+
+// CacheStats counts cache events.
+type CacheStats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Flushes    uint64
+	Writebacks uint64 // dirty lines written back on eviction or flush
+}
+
+type cacheLine struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	lru   uint64 // last-touch tick; larger = more recent
+}
+
+// Cache is one set-associative, timing-only cache level with a
+// configurable replacement policy.
+type Cache struct {
+	cfg   CacheConfig
+	sets  [][]cacheLine
+	tick  uint64
+	rng   *rand.Rand
+	Stats CacheStats
+}
+
+// NewCache builds a cache from cfg.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := make([][]cacheLine, cfg.Sets)
+	for i := range sets {
+		sets[i] = make([]cacheLine, cfg.Ways)
+	}
+	c := &Cache{cfg: cfg, sets: sets}
+	if cfg.Policy == Random {
+		c.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return c, nil
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	line := addr / c.cfg.LineBytes
+	return int(line % uint64(c.cfg.Sets)), line / uint64(c.cfg.Sets)
+}
+
+// Lookup probes the cache. On a hit it refreshes LRU state and returns
+// true; on a miss it returns false without modifying the set.
+func (c *Cache) Lookup(addr uint64) bool {
+	set, tag := c.index(addr)
+	c.tick++
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			if c.cfg.Policy == LRU {
+				l.lru = c.tick // FIFO/Random hits do not refresh
+			}
+			c.Stats.Hits++
+			return true
+		}
+	}
+	c.Stats.Misses++
+	return false
+}
+
+// Contains reports presence without touching LRU or statistics (for
+// tests and introspection).
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills the line containing addr, evicting a victim if the set
+// is full. It returns the evicted line's base address and whether an
+// eviction happened.
+func (c *Cache) Insert(addr uint64) (evicted uint64, wasEvicted bool) {
+	return c.insert(addr, false)
+}
+
+// InsertDirty fills the line and marks it modified (a store hit or a
+// write-allocate): its eventual eviction counts as a writeback.
+func (c *Cache) InsertDirty(addr uint64) (evicted uint64, wasEvicted bool) {
+	return c.insert(addr, true)
+}
+
+func (c *Cache) insert(addr uint64, dirty bool) (evicted uint64, wasEvicted bool) {
+	set, tag := c.index(addr)
+	c.tick++
+	// Already present: refresh.
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			l.lru = c.tick
+			l.dirty = l.dirty || dirty
+			return 0, false
+		}
+	}
+	victim := -1
+	for i := range c.sets[set] {
+		if !c.sets[set][i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		switch c.cfg.Policy {
+		case Random:
+			victim = c.rng.Intn(c.cfg.Ways)
+		default: // LRU and FIFO both evict the smallest tick: last
+			// touch for LRU, insertion time for FIFO.
+			for i := range c.sets[set] {
+				if victim < 0 || c.sets[set][i].lru < c.sets[set][victim].lru {
+					victim = i
+				}
+			}
+		}
+	}
+	v := &c.sets[set][victim]
+	if v.valid {
+		c.Stats.Evictions++
+		if v.dirty {
+			c.Stats.Writebacks++
+		}
+		evicted = (v.tag*uint64(c.cfg.Sets) + uint64(set)) * c.cfg.LineBytes
+		wasEvicted = true
+	}
+	*v = cacheLine{valid: true, dirty: dirty, tag: tag, lru: c.tick}
+	return evicted, wasEvicted
+}
+
+// Flush evicts the line containing addr if present (clflush), and
+// reports whether it was present.
+func (c *Cache) Flush(addr uint64) bool {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			if l.dirty {
+				c.Stats.Writebacks++
+			}
+			l.valid = false
+			l.dirty = false
+			c.Stats.Flushes++
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateAll empties the cache (e.g. between experiment runs).
+func (c *Cache) InvalidateAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = cacheLine{}
+		}
+	}
+}
+
+// LineBase returns the base address of the line containing addr.
+func (c *Cache) LineBase(addr uint64) uint64 {
+	return addr &^ (c.cfg.LineBytes - 1)
+}

@@ -1,0 +1,40 @@
+package mem_test
+
+import (
+	"fmt"
+
+	"vpsec/internal/mem"
+)
+
+// The hit-vs-miss contrast and the CLFLUSH primitive are all the
+// attacks need from the memory system.
+func ExampleHierarchy_Access() {
+	h := mem.DefaultHierarchy()
+	h.TLB = nil // isolate cache latencies for the example
+
+	miss, level := h.Access(0x1000, true)
+	fmt.Printf("cold access: %d cycles from %v\n", miss, level)
+	hit, level := h.Access(0x1000, true)
+	fmt.Printf("warm access: %d cycles from %v\n", hit, level)
+
+	h.Flush(0x1000)
+	again, level := h.Access(0x1000, true)
+	fmt.Printf("post-flush : %d cycles from %v\n", again, level)
+	// Output:
+	// cold access: 162 cycles from mem
+	// warm access: 3 cycles from L1
+	// post-flush : 162 cycles from mem
+}
+
+// InvisiSpec-style invisible accesses (the D-type defense) leave no
+// cache state behind.
+func ExampleHierarchy_Access_noInstall() {
+	h := mem.DefaultHierarchy()
+	h.Access(0x2000, false)
+	fmt.Println("cached after invisible access:", h.Cached(0x2000))
+	h.Access(0x2000, true)
+	fmt.Println("cached after normal access:   ", h.Cached(0x2000))
+	// Output:
+	// cached after invisible access: false
+	// cached after normal access:    true
+}

@@ -1,0 +1,305 @@
+package mem
+
+import "fmt"
+
+// Memory is the backing store: a sparse 64-bit word map plus a fixed
+// access latency (DRAM).
+type Memory struct {
+	Latency uint64
+	words   map[uint64]uint64
+	Reads   uint64
+	Writes  uint64
+}
+
+// NewMemory returns an empty memory with the given access latency.
+func NewMemory(latency uint64) *Memory {
+	return &Memory{Latency: latency, words: make(map[uint64]uint64)}
+}
+
+// Read returns the 64-bit word at addr (zero if never written).
+func (m *Memory) Read(addr uint64) uint64 {
+	m.Reads++
+	return m.words[addr]
+}
+
+// Write stores a 64-bit word at addr.
+func (m *Memory) Write(addr, v uint64) {
+	m.Writes++
+	m.words[addr] = v
+}
+
+// Peek reads without counting (for assertions and result extraction).
+func (m *Memory) Peek(addr uint64) uint64 { return m.words[addr] }
+
+// Snapshot copies the memory contents (for golden-model comparison).
+func (m *Memory) Snapshot() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(m.words))
+	for a, v := range m.words {
+		out[a] = v
+	}
+	return out
+}
+
+// TLBConfig describes the translation lookaside buffer.
+type TLBConfig struct {
+	Entries     int
+	PageBytes   uint64
+	HitLatency  uint64 // added on a TLB hit
+	MissLatency uint64 // page-walk penalty added on a miss
+}
+
+// TLB is a fully-associative LRU translation cache. Translation itself
+// is identity (the Machine applies per-process physical offsets), so
+// the TLB contributes timing only — enough for the paper's threat
+// model, which assumes virtual-address-indexed predictors.
+type TLB struct {
+	cfg   TLBConfig
+	pages map[uint64]uint64 // page number -> last-touch tick
+	tick  uint64
+	Hits  uint64
+	Miss  uint64
+}
+
+// NewTLB builds a TLB from cfg.
+func NewTLB(cfg TLBConfig) (*TLB, error) {
+	if cfg.Entries <= 0 {
+		return nil, fmt.Errorf("mem: tlb entries %d invalid", cfg.Entries)
+	}
+	if cfg.PageBytes == 0 || cfg.PageBytes&(cfg.PageBytes-1) != 0 {
+		return nil, fmt.Errorf("mem: tlb page size %d not a power of two", cfg.PageBytes)
+	}
+	return &TLB{cfg: cfg, pages: make(map[uint64]uint64)}, nil
+}
+
+// Access translates addr, returning the latency contribution.
+func (t *TLB) Access(addr uint64) uint64 {
+	page := addr / t.cfg.PageBytes
+	t.tick++
+	if _, ok := t.pages[page]; ok {
+		t.pages[page] = t.tick
+		t.Hits++
+		return t.cfg.HitLatency
+	}
+	t.Miss++
+	if len(t.pages) >= t.cfg.Entries {
+		var victim uint64
+		oldest := ^uint64(0)
+		for p, last := range t.pages {
+			if last < oldest {
+				oldest = last
+				victim = p
+			}
+		}
+		delete(t.pages, victim)
+	}
+	t.pages[page] = t.tick
+	return t.cfg.MissLatency
+}
+
+// InvalidateAll empties the TLB.
+func (t *TLB) InvalidateAll() { t.pages = make(map[uint64]uint64) }
+
+// Level identifies where an access was satisfied.
+type Level int
+
+// Access service levels.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelMem
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelMem:
+		return "mem"
+	}
+	return "?"
+}
+
+// Hierarchy composes L1 + optional L2 + DRAM + optional TLB.
+type Hierarchy struct {
+	L1  *Cache
+	L2  *Cache // may be nil
+	TLB *TLB   // may be nil
+	Mem *Memory
+
+	// NextLinePrefetch enables a simple next-line prefetcher: a demand
+	// miss that goes to DRAM also fills addr+linesize into the L2 (or
+	// L1 when there is no L2). Off by default; the attack ablations use
+	// it to show how spatial prefetching interacts with the
+	// persistent-channel probes.
+	NextLinePrefetch bool
+	Prefetches       uint64
+
+	// peers are other cores' hierarchies sharing this L2 and memory;
+	// stores and flushes invalidate their private L1 copies
+	// (write-invalidate coherence).
+	peers         []*Hierarchy
+	Invalidations uint64
+}
+
+// AttachPeer links two per-core hierarchies that share an L2 and
+// memory (use NewMulticore for the common case). Coherence is
+// write-invalidate: a store or CLFLUSH on one core removes the line
+// from every peer's L1.
+func (h *Hierarchy) AttachPeer(p *Hierarchy) {
+	h.peers = append(h.peers, p)
+	p.peers = append(p.peers, h)
+}
+
+// NewMulticore builds n per-core hierarchies with private L1s and TLBs
+// sharing one L2 and one memory, all cross-attached for coherence.
+func NewMulticore(n int) []*Hierarchy {
+	if n < 1 {
+		n = 1
+	}
+	l2, err := NewCache(CacheConfig{Name: "L2", Sets: 512, Ways: 8, LineBytes: 64, HitLatency: 12})
+	if err != nil {
+		panic(err)
+	}
+	shared := NewMemory(150)
+	out := make([]*Hierarchy, n)
+	for i := range out {
+		l1, err := NewCache(CacheConfig{Name: "L1D", Sets: 64, Ways: 8, LineBytes: 64, HitLatency: 3})
+		if err != nil {
+			panic(err)
+		}
+		tlb, err := NewTLB(TLBConfig{Entries: 64, PageBytes: 4096, HitLatency: 0, MissLatency: 20})
+		if err != nil {
+			panic(err)
+		}
+		out[i] = &Hierarchy{L1: l1, L2: l2, TLB: tlb, Mem: shared}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out[i].AttachPeer(out[j])
+		}
+	}
+	return out
+}
+
+// invalidatePeers removes addr's line from every peer L1.
+func (h *Hierarchy) invalidatePeers(addr uint64) {
+	for _, p := range h.peers {
+		if p.L1.Flush(addr) {
+			h.Invalidations++
+		}
+	}
+}
+
+// DefaultHierarchy builds the configuration used throughout the
+// evaluation: 32 KiB 8-way L1 (3 cycles), 256 KiB 8-way L2 (12
+// cycles), 150-cycle DRAM, 64-entry TLB with a 20-cycle walk.
+func DefaultHierarchy() *Hierarchy {
+	l1, err := NewCache(CacheConfig{Name: "L1D", Sets: 64, Ways: 8, LineBytes: 64, HitLatency: 3})
+	if err != nil {
+		panic(err)
+	}
+	l2, err := NewCache(CacheConfig{Name: "L2", Sets: 512, Ways: 8, LineBytes: 64, HitLatency: 12})
+	if err != nil {
+		panic(err)
+	}
+	tlb, err := NewTLB(TLBConfig{Entries: 64, PageBytes: 4096, HitLatency: 0, MissLatency: 20})
+	if err != nil {
+		panic(err)
+	}
+	return &Hierarchy{L1: l1, L2: l2, TLB: tlb, Mem: NewMemory(150)}
+}
+
+// Access performs a demand access to physical address addr: it returns
+// the total latency and the level that served it. When install is true
+// (the normal case) missing lines are filled into the caches; when
+// false the access leaves no microarchitectural trace below the level
+// that served it — this implements the D-type "delay side-effects"
+// defense (and InvisiSpec-style invisible speculative loads).
+func (h *Hierarchy) Access(addr uint64, install bool) (latency uint64, served Level) {
+	if h.TLB != nil {
+		latency += h.TLB.Access(addr)
+	}
+	if h.L1.Lookup(addr) {
+		return latency + h.L1.Config().HitLatency, LevelL1
+	}
+	if h.L2 != nil && h.L2.Lookup(addr) {
+		latency += h.L2.Config().HitLatency
+		if install {
+			h.L1.Insert(addr)
+		}
+		return latency, LevelL2
+	}
+	latency += h.Mem.Latency
+	if h.L2 != nil {
+		latency += h.L2.Config().HitLatency
+	}
+	if install {
+		if h.L2 != nil {
+			h.L2.Insert(addr)
+		}
+		h.L1.Insert(addr)
+		if h.NextLinePrefetch {
+			next := h.L1.LineBase(addr) + h.L1.Config().LineBytes
+			if h.L2 != nil {
+				h.L2.Insert(next)
+			} else {
+				h.L1.Insert(next)
+			}
+			h.Prefetches++
+		}
+	}
+	return latency, LevelMem
+}
+
+// Install fills addr into all cache levels without charging latency;
+// the pipeline uses it when a D-type-delayed load becomes
+// architecturally visible at commit.
+func (h *Hierarchy) Install(addr uint64) {
+	if h.L2 != nil {
+		h.L2.Insert(addr)
+	}
+	h.L1.Insert(addr)
+}
+
+// InstallDirty fills addr as modified (committed stores, write-back
+// write-allocate): the line's later eviction or flush is a writeback.
+// Peer L1 copies are invalidated (write-invalidate coherence).
+func (h *Hierarchy) InstallDirty(addr uint64) {
+	if h.L2 != nil {
+		h.L2.InsertDirty(addr)
+	}
+	h.L1.InsertDirty(addr)
+	h.invalidatePeers(addr)
+}
+
+// Flush evicts addr's line from every level and every peer L1
+// (clflush is coherent).
+func (h *Hierarchy) Flush(addr uint64) {
+	h.L1.Flush(addr)
+	if h.L2 != nil {
+		h.L2.Flush(addr)
+	}
+	h.invalidatePeers(addr)
+}
+
+// Cached reports whether addr hits in any cache level, without
+// touching LRU or statistics.
+func (h *Hierarchy) Cached(addr uint64) bool {
+	if h.L1.Contains(addr) {
+		return true
+	}
+	return h.L2 != nil && h.L2.Contains(addr)
+}
+
+// InvalidateAll empties all caches and the TLB.
+func (h *Hierarchy) InvalidateAll() {
+	h.L1.InvalidateAll()
+	if h.L2 != nil {
+		h.L2.InvalidateAll()
+	}
+	if h.TLB != nil {
+		h.TLB.InvalidateAll()
+	}
+}

@@ -1,0 +1,36 @@
+package mpi_test
+
+import (
+	"fmt"
+
+	"vpsec/internal/mpi"
+)
+
+// ModExp follows the Fig. 6 libgcrypt structure: square every bit,
+// multiply unconditionally, keep the product only on 1-bits.
+func ExampleModExp() {
+	base := mpi.FromUint64(7)
+	exp := mpi.FromUint64(560)
+	mod := mpi.FromUint64(561) // 561 is a Carmichael number: 7^560 ≡ 1
+	fmt.Println(mpi.ModExp(base, exp, mod))
+	// Output:
+	// 0x1
+}
+
+func ExampleFromHex() {
+	x, err := mpi.FromHex("0xfedcba9876543210fedcba9876543210")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(x.BitLen(), "bits,", len(x.Limbs()), "limbs")
+	// Output:
+	// 128 bits, 2 limbs
+}
+
+func ExampleInt_DivMod() {
+	x, _ := mpi.FromHex("10000000000000000") // 2^64
+	q, r := x.DivMod(mpi.FromUint64(10))
+	fmt.Println(q, r)
+	// Output:
+	// 0x1999999999999999 0x6
+}

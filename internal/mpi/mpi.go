@@ -1,0 +1,311 @@
+// Package mpi implements the multiprecision-integer arithmetic the
+// RSA victim of Fig. 6 computes with: libgcrypt's _gcry_mpi_powm is a
+// square-and-multiply modular exponentiation over MPI values. The
+// package is written from scratch on 64-bit limbs (no math/big), and
+// serves two roles: the host-side golden model that validates the
+// ISA-compiled modexp victim in internal/rsa, and a self-contained
+// bignum substrate.
+//
+// Representation: little-endian []uint64 limbs, normalized (no leading
+// zero limbs); the zero value of Int is 0.
+package mpi
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Int is an arbitrary-precision unsigned integer.
+type Int struct {
+	limbs []uint64 // little-endian, normalized
+}
+
+// FromUint64 returns v as an Int.
+func FromUint64(v uint64) Int {
+	if v == 0 {
+		return Int{}
+	}
+	return Int{limbs: []uint64{v}}
+}
+
+// FromLimbs builds an Int from little-endian limbs (copied).
+func FromLimbs(limbs []uint64) Int {
+	x := Int{limbs: append([]uint64(nil), limbs...)}
+	x.norm()
+	return x
+}
+
+// FromHex parses a hexadecimal string (optional 0x prefix).
+func FromHex(s string) (Int, error) {
+	s = strings.TrimPrefix(strings.TrimPrefix(strings.TrimSpace(s), "0x"), "0X")
+	if s == "" {
+		return Int{}, fmt.Errorf("mpi: empty hex string")
+	}
+	var x Int
+	for _, c := range s {
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		case c == '_':
+			continue
+		default:
+			return Int{}, fmt.Errorf("mpi: bad hex digit %q", c)
+		}
+		x = x.shiftLeft(4)
+		if len(x.limbs) == 0 {
+			if d != 0 {
+				x.limbs = []uint64{d}
+			}
+		} else {
+			x.limbs[0] |= d
+		}
+	}
+	return x, nil
+}
+
+func (x *Int) norm() {
+	for len(x.limbs) > 0 && x.limbs[len(x.limbs)-1] == 0 {
+		x.limbs = x.limbs[:len(x.limbs)-1]
+	}
+}
+
+// IsZero reports x == 0.
+func (x Int) IsZero() bool { return len(x.limbs) == 0 }
+
+// Limbs returns a copy of the little-endian limbs.
+func (x Int) Limbs() []uint64 { return append([]uint64(nil), x.limbs...) }
+
+// Uint64 returns the low 64 bits of x.
+func (x Int) Uint64() uint64 {
+	if len(x.limbs) == 0 {
+		return 0
+	}
+	return x.limbs[0]
+}
+
+// BitLen returns the length of x in bits.
+func (x Int) BitLen() int {
+	if len(x.limbs) == 0 {
+		return 0
+	}
+	return 64*(len(x.limbs)-1) + bits.Len64(x.limbs[len(x.limbs)-1])
+}
+
+// Bit returns bit i of x (0 or 1).
+func (x Int) Bit(i int) uint {
+	limb := i / 64
+	if limb >= len(x.limbs) || i < 0 {
+		return 0
+	}
+	return uint(x.limbs[limb] >> (i % 64) & 1)
+}
+
+// Cmp compares x and y: -1, 0 or +1.
+func (x Int) Cmp(y Int) int {
+	if len(x.limbs) != len(y.limbs) {
+		if len(x.limbs) < len(y.limbs) {
+			return -1
+		}
+		return 1
+	}
+	for i := len(x.limbs) - 1; i >= 0; i-- {
+		if x.limbs[i] != y.limbs[i] {
+			if x.limbs[i] < y.limbs[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Equal reports x == y.
+func (x Int) Equal(y Int) bool { return x.Cmp(y) == 0 }
+
+// Add returns x + y.
+func (x Int) Add(y Int) Int {
+	a, b := x.limbs, y.limbs
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	out := make([]uint64, len(a)+1)
+	var carry uint64
+	for i := range a {
+		var bi uint64
+		if i < len(b) {
+			bi = b[i]
+		}
+		s, c1 := bits.Add64(a[i], bi, carry)
+		out[i] = s
+		carry = c1
+	}
+	out[len(a)] = carry
+	r := Int{limbs: out}
+	r.norm()
+	return r
+}
+
+// Sub returns x - y; it panics if y > x (the arithmetic here is
+// unsigned, as in mpih routines).
+func (x Int) Sub(y Int) Int {
+	if x.Cmp(y) < 0 {
+		panic("mpi: negative result in Sub")
+	}
+	out := make([]uint64, len(x.limbs))
+	var borrow uint64
+	for i := range x.limbs {
+		var yi uint64
+		if i < len(y.limbs) {
+			yi = y.limbs[i]
+		}
+		d, b1 := bits.Sub64(x.limbs[i], yi, borrow)
+		out[i] = d
+		borrow = b1
+	}
+	r := Int{limbs: out}
+	r.norm()
+	return r
+}
+
+// Mul returns x * y (schoolbook, like _gcry_mpih_mul).
+func (x Int) Mul(y Int) Int {
+	if x.IsZero() || y.IsZero() {
+		return Int{}
+	}
+	out := make([]uint64, len(x.limbs)+len(y.limbs))
+	for i, xi := range x.limbs {
+		var carry uint64
+		for j, yj := range y.limbs {
+			hi, lo := bits.Mul64(xi, yj)
+			s, c1 := bits.Add64(out[i+j], lo, 0)
+			s, c2 := bits.Add64(s, carry, 0)
+			out[i+j] = s
+			carry = hi + c1 + c2
+		}
+		out[i+len(y.limbs)] += carry
+	}
+	r := Int{limbs: out}
+	r.norm()
+	return r
+}
+
+// Sqr returns x² (the victim's _gcry_mpih_sqr_n_basecase).
+func (x Int) Sqr() Int { return x.Mul(x) }
+
+// shiftLeft returns x << n.
+func (x Int) shiftLeft(n int) Int {
+	if x.IsZero() || n == 0 {
+		return x
+	}
+	limbShift, bitShift := n/64, uint(n%64)
+	out := make([]uint64, len(x.limbs)+limbShift+1)
+	for i, l := range x.limbs {
+		out[i+limbShift] |= l << bitShift
+		if bitShift > 0 {
+			out[i+limbShift+1] |= l >> (64 - bitShift)
+		}
+	}
+	r := Int{limbs: out}
+	r.norm()
+	return r
+}
+
+// DivMod returns (q, r) with x = q*m + r, 0 <= r < m, by binary long
+// division. It panics on m == 0.
+func (x Int) DivMod(m Int) (q, r Int) {
+	if m.IsZero() {
+		panic("mpi: division by zero")
+	}
+	if x.Cmp(m) < 0 {
+		return Int{}, x
+	}
+	shift := x.BitLen() - m.BitLen()
+	d := m.shiftLeft(shift)
+	qLimbs := make([]uint64, shift/64+1)
+	r = x
+	for i := shift; i >= 0; i-- {
+		if r.Cmp(d) >= 0 {
+			r = r.Sub(d)
+			qLimbs[i/64] |= 1 << (i % 64)
+		}
+		d = d.half()
+	}
+	q = Int{limbs: qLimbs}
+	q.norm()
+	return q, r
+}
+
+// half returns x >> 1.
+func (x Int) half() Int {
+	if x.IsZero() {
+		return x
+	}
+	out := make([]uint64, len(x.limbs))
+	for i := range x.limbs {
+		out[i] = x.limbs[i] >> 1
+		if i+1 < len(x.limbs) {
+			out[i] |= x.limbs[i+1] << 63
+		}
+	}
+	r := Int{limbs: out}
+	r.norm()
+	return r
+}
+
+// Mod returns x mod m.
+func (x Int) Mod(m Int) Int {
+	_, r := x.DivMod(m)
+	return r
+}
+
+// ModMul returns x*y mod m.
+func (x Int) ModMul(y, m Int) Int { return x.Mul(y).Mod(m) }
+
+// ModExp computes base^exp mod m with the left-to-right
+// square-and-multiply of Fig. 6: for every exponent bit, square; then
+// multiply (unconditionally, the FLUSH+RELOAD mitigation); the result
+// of the multiply is kept only when the bit is 1 (the tp/rp/xp pointer
+// swap the value-predictor attack leaks).
+func ModExp(base, exp, m Int) Int {
+	if m.IsZero() {
+		panic("mpi: modulus is zero")
+	}
+	if m.Cmp(FromUint64(1)) == 0 {
+		return Int{}
+	}
+	r := FromUint64(1)
+	b := base.Mod(m)
+	for i := exp.BitLen() - 1; i >= 0; i-- {
+		r = r.Sqr().Mod(m)  // _gcry_mpih_sqr_n_basecase
+		x := r.ModMul(b, m) // unconditional _gcry_mpih_mul
+		if exp.Bit(i) == 1 {
+			r = x // tp = rp; rp = xp; xp = tp
+		}
+	}
+	return r
+}
+
+// Hex renders x as lowercase hexadecimal (no prefix).
+func (x Int) Hex() string {
+	if x.IsZero() {
+		return "0"
+	}
+	var sb strings.Builder
+	for i := len(x.limbs) - 1; i >= 0; i-- {
+		if i == len(x.limbs)-1 {
+			fmt.Fprintf(&sb, "%x", x.limbs[i])
+		} else {
+			fmt.Fprintf(&sb, "%016x", x.limbs[i])
+		}
+	}
+	return sb.String()
+}
+
+// String implements fmt.Stringer (hex form).
+func (x Int) String() string { return "0x" + x.Hex() }

@@ -1,0 +1,329 @@
+package mpi
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromUint64AndBack(t *testing.T) {
+	for _, v := range []uint64{0, 1, 42, 1 << 63, ^uint64(0)} {
+		x := FromUint64(v)
+		if x.Uint64() != v {
+			t.Errorf("roundtrip %d -> %d", v, x.Uint64())
+		}
+	}
+	if !FromUint64(0).IsZero() {
+		t.Error("0 should be zero")
+	}
+}
+
+func TestFromHex(t *testing.T) {
+	cases := []struct {
+		in  string
+		hex string
+	}{
+		{"0", "0"},
+		{"ff", "ff"},
+		{"0xDEADBEEF", "deadbeef"},
+		{"1_0000_0000_0000_0000", "10000000000000000"}, // 2^64
+		{"fedcba9876543210fedcba9876543210", "fedcba9876543210fedcba9876543210"},
+	}
+	for _, c := range cases {
+		x, err := FromHex(c.in)
+		if err != nil {
+			t.Fatalf("FromHex(%q): %v", c.in, err)
+		}
+		if x.Hex() != c.hex {
+			t.Errorf("FromHex(%q).Hex() = %q, want %q", c.in, x.Hex(), c.hex)
+		}
+	}
+	if _, err := FromHex(""); err == nil {
+		t.Error("empty hex should fail")
+	}
+	if _, err := FromHex("xyz"); err == nil {
+		t.Error("bad digits should fail")
+	}
+}
+
+func TestBitLenAndBit(t *testing.T) {
+	x := FromUint64(0b1011)
+	if x.BitLen() != 4 {
+		t.Errorf("BitLen = %d, want 4", x.BitLen())
+	}
+	wantBits := []uint{1, 1, 0, 1, 0}
+	for i, w := range wantBits {
+		if x.Bit(i) != w {
+			t.Errorf("Bit(%d) = %d, want %d", i, x.Bit(i), w)
+		}
+	}
+	big, _ := FromHex("1" + zeros(32)) // 2^128
+	if big.BitLen() != 129 {
+		t.Errorf("BitLen(2^128) = %d, want 129", big.BitLen())
+	}
+	if big.Bit(128) != 1 || big.Bit(127) != 0 {
+		t.Error("high bit wrong")
+	}
+	if FromUint64(1).Bit(-1) != 0 {
+		t.Error("negative bit index should be 0")
+	}
+}
+
+func zeros(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		s += "0"
+	}
+	return s
+}
+
+func TestAddSubCarryChains(t *testing.T) {
+	max64 := FromUint64(^uint64(0))
+	two64 := max64.Add(FromUint64(1))
+	if two64.Hex() != "10000000000000000" {
+		t.Errorf("2^64 = %s", two64.Hex())
+	}
+	if !two64.Sub(FromUint64(1)).Equal(max64) {
+		t.Error("2^64 - 1 wrong")
+	}
+	// Multi-limb borrow: 2^128 - 1.
+	two128, _ := FromHex("1" + zeros(32))
+	m := two128.Sub(FromUint64(1))
+	if m.Hex() != "ffffffffffffffffffffffffffffffff" {
+		t.Errorf("2^128-1 = %s", m.Hex())
+	}
+}
+
+func TestSubPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	FromUint64(1).Sub(FromUint64(2))
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromUint64(0xffffffffffffffff)
+	sq := a.Mul(a)
+	// (2^64-1)^2 = 2^128 - 2^65 + 1
+	want, _ := FromHex("fffffffffffffffe0000000000000001")
+	if !sq.Equal(want) {
+		t.Errorf("(2^64-1)^2 = %s, want %s", sq.Hex(), want.Hex())
+	}
+	if !a.Mul(Int{}).IsZero() || !(Int{}).Mul(a).IsZero() {
+		t.Error("multiplication by zero")
+	}
+	if !a.Sqr().Equal(sq) {
+		t.Error("Sqr != Mul(self)")
+	}
+}
+
+func TestDivModKnown(t *testing.T) {
+	x, _ := FromHex("fedcba9876543210fedcba9876543210")
+	m := FromUint64(0x123456789)
+	q, r := x.DivMod(m)
+	// Verify q*m + r == x and r < m.
+	if !q.Mul(m).Add(r).Equal(x) {
+		t.Error("divmod identity broken")
+	}
+	if r.Cmp(m) >= 0 {
+		t.Error("remainder not reduced")
+	}
+	// Small case with known answer.
+	q2, r2 := FromUint64(100).DivMod(FromUint64(7))
+	if q2.Uint64() != 14 || r2.Uint64() != 2 {
+		t.Errorf("100/7 = %d rem %d", q2.Uint64(), r2.Uint64())
+	}
+	// x < m.
+	q3, r3 := FromUint64(3).DivMod(FromUint64(7))
+	if !q3.IsZero() || r3.Uint64() != 3 {
+		t.Error("small dividend wrong")
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	FromUint64(1).DivMod(Int{})
+}
+
+func TestModExpKnown(t *testing.T) {
+	cases := []struct{ b, e, m, want uint64 }{
+		{2, 10, 1000, 24},
+		{3, 0, 7, 1},
+		{0, 5, 7, 0},
+		{5, 117, 19, powmod(5, 117, 19)},
+		{123456789, 987654321, 1000000007, powmod(123456789, 987654321, 1000000007)},
+	}
+	for _, c := range cases {
+		got := ModExp(FromUint64(c.b), FromUint64(c.e), FromUint64(c.m))
+		if got.Uint64() != c.want || len(got.Limbs()) > 1 {
+			t.Errorf("ModExp(%d,%d,%d) = %s, want %d", c.b, c.e, c.m, got, c.want)
+		}
+	}
+	if !ModExp(FromUint64(5), FromUint64(5), FromUint64(1)).IsZero() {
+		t.Error("mod 1 should be 0")
+	}
+}
+
+// powmod is an independent uint64 reference.
+func powmod(b, e, m uint64) uint64 {
+	r := uint64(1 % m)
+	b %= m
+	for ; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			hi, lo := bits.Mul64(r, b)
+			_, r = bits.Div64(hi, lo, m)
+		}
+		hi, lo := bits.Mul64(b, b)
+		_, b = bits.Div64(hi, lo, m)
+	}
+	return r
+}
+
+func TestModExpMultiLimb(t *testing.T) {
+	// A 128-bit modulus: verify via the divmod identity on a few steps.
+	m, _ := FromHex("ffffffffffffffffffffffffffffff61") // arbitrary odd 128-bit
+	b, _ := FromHex("123456789abcdef0123456789abcdef")
+	e := FromUint64(65537)
+	got := ModExp(b, e, m)
+	// Independent check: square-and-multiply right-to-left.
+	r := FromUint64(1)
+	base := b.Mod(m)
+	for i := 0; i < e.BitLen(); i++ {
+		if e.Bit(i) == 1 {
+			r = r.ModMul(base, m)
+		}
+		base = base.ModMul(base, m)
+	}
+	if !got.Equal(r) {
+		t.Errorf("multi-limb modexp mismatch: %s vs %s", got, r)
+	}
+}
+
+func TestHexRendering(t *testing.T) {
+	x, _ := FromHex("10000000000000002")
+	if x.String() != "0x10000000000000002" {
+		t.Errorf("String = %q", x.String())
+	}
+	if (Int{}).Hex() != "0" {
+		t.Error("zero hex")
+	}
+}
+
+func TestCmp(t *testing.T) {
+	a, _ := FromHex("ffffffffffffffff")
+	b, _ := FromHex("10000000000000000")
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a) != 0 {
+		t.Error("Cmp ordering wrong")
+	}
+}
+
+func TestFromLimbsNormalizes(t *testing.T) {
+	x := FromLimbs([]uint64{5, 0, 0})
+	if len(x.Limbs()) != 1 || x.Uint64() != 5 {
+		t.Errorf("FromLimbs did not normalize: %v", x.Limbs())
+	}
+}
+
+// Property tests against uint64 arithmetic (operands chosen so results
+// stay in or near one limb where Go can verify them exactly).
+
+func TestPropertyAddSubRoundTrip(t *testing.T) {
+	f := func(limbsA, limbsB []uint64) bool {
+		if len(limbsA) > 6 {
+			limbsA = limbsA[:6]
+		}
+		if len(limbsB) > 6 {
+			limbsB = limbsB[:6]
+		}
+		a, b := FromLimbs(limbsA), FromLimbs(limbsB)
+		return a.Add(b).Sub(b).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMulMatchesUint64(t *testing.T) {
+	f := func(a32, b32 uint32) bool {
+		a, b := uint64(a32), uint64(b32)
+		return FromUint64(a).Mul(FromUint64(b)).Uint64() == a*b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMulCommutesAndDistributes(t *testing.T) {
+	f := func(la, lb, lc []uint64) bool {
+		trim := func(l []uint64) []uint64 {
+			if len(l) > 4 {
+				return l[:4]
+			}
+			return l
+		}
+		a, b, c := FromLimbs(trim(la)), FromLimbs(trim(lb)), FromLimbs(trim(lc))
+		if !a.Mul(b).Equal(b.Mul(a)) {
+			return false
+		}
+		return a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDivModIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		nx := 1 + rng.Intn(4)
+		lx := make([]uint64, nx)
+		for j := range lx {
+			lx[j] = rng.Uint64()
+		}
+		x := FromLimbs(lx)
+		m := FromUint64(rng.Uint64() | 1)
+		q, r := x.DivMod(m)
+		if !q.Mul(m).Add(r).Equal(x) {
+			t.Fatalf("identity broken for %s / %s", x, m)
+		}
+		if r.Cmp(m) >= 0 {
+			t.Fatalf("remainder %s >= modulus %s", r, m)
+		}
+	}
+}
+
+func TestPropertyModExpMatchesUint64(t *testing.T) {
+	f := func(b, e uint64, m32 uint32) bool {
+		m := uint64(m32)
+		if m < 2 {
+			m = 2
+		}
+		e %= 4096 // keep runtimes sane
+		got := ModExp(FromUint64(b), FromUint64(e), FromUint64(m))
+		return got.Uint64() == powmod(b, e, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyHexRoundTrip(t *testing.T) {
+	f := func(limbs []uint64) bool {
+		if len(limbs) > 5 {
+			limbs = limbs[:5]
+		}
+		x := FromLimbs(limbs)
+		y, err := FromHex(x.Hex())
+		return err == nil && y.Equal(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

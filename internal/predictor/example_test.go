@@ -1,0 +1,49 @@
+package predictor_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vpsec/internal/predictor"
+)
+
+// The core VPS behavior every attack builds on: after a confidence
+// number of same-value observations, the next access is predicted
+// (paper footnote 3), and a single conflicting value resets the
+// confidence ("no prediction", Sec. IV-A).
+func ExampleLVP() {
+	lvp, err := predictor.NewLVP(predictor.LVPConfig{Confidence: 4})
+	if err != nil {
+		panic(err)
+	}
+	ctx := predictor.Context{PC: 0x40, Addr: 0x1000}
+	for i := 0; i < 4; i++ {
+		lvp.Update(ctx, 42, lvp.Predict(ctx)) // train
+	}
+	fmt.Printf("after 4 accesses: %+v\n", lvp.Predict(ctx))
+
+	lvp.Update(ctx, 7, predictor.Prediction{Hit: true, Value: 42}) // conflicting value
+	fmt.Printf("after the reset:  %+v\n", lvp.Predict(ctx))
+	// Output:
+	// after 4 accesses: {Hit:true Value:42}
+	// after the reset:  {Hit:false Value:0}
+}
+
+// The R-type defense (Sec. VI-A) randomizes every prediction within a
+// window of size S, so the correct value survives with probability
+// 1/S.
+func ExampleRType() {
+	lvp, _ := predictor.NewLVP(predictor.LVPConfig{Confidence: 1})
+	r := predictor.NewRType(lvp, 3, rand.New(rand.NewSource(1)))
+	ctx := predictor.Context{PC: 0x40}
+	lvp.Update(ctx, 100, predictor.Prediction{})
+	lvp.Update(ctx, 100, predictor.Prediction{})
+
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Predict(ctx).Value] = true
+	}
+	fmt.Println("distinct predicted values:", len(seen))
+	// Output:
+	// distinct predicted values: 3
+}

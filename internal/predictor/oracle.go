@@ -1,0 +1,94 @@
+package predictor
+
+// Oracle restricts an inner predictor to a set of target load PCs.
+// The paper's experimental setup uses an "oracle VTAGE" that "makes
+// predictions only for the target load instruction to maximize the
+// attacker's advantage" (Sec. IV-C): all other loads neither consume
+// table space nor add prediction noise.
+type Oracle struct {
+	inner   Predictor
+	targets map[uint64]bool
+	stats   Stats
+}
+
+// NewOracle wraps inner, predicting and training only for loads whose
+// PC is in targetPCs.
+func NewOracle(inner Predictor, targetPCs ...uint64) *Oracle {
+	t := make(map[uint64]bool, len(targetPCs))
+	for _, pc := range targetPCs {
+		t[pc] = true
+	}
+	return &Oracle{inner: inner, targets: t}
+}
+
+// AddTarget registers another target load PC.
+func (o *Oracle) AddTarget(pc uint64) { o.targets[pc] = true }
+
+// Name implements Predictor.
+func (o *Oracle) Name() string { return "oracle-" + o.inner.Name() }
+
+// Predict implements Predictor: non-target loads never predict.
+func (o *Oracle) Predict(ctx Context) Prediction {
+	o.stats.Lookups++
+	if !o.targets[ctx.PC] {
+		o.stats.NoPredictions++
+		return Prediction{}
+	}
+	p := o.inner.Predict(ctx)
+	if p.Hit {
+		o.stats.Predictions++
+	} else {
+		o.stats.NoPredictions++
+	}
+	return p
+}
+
+// Update implements Predictor: non-target loads do not train.
+func (o *Oracle) Update(ctx Context, actual uint64, pred Prediction) {
+	if !o.targets[ctx.PC] {
+		return
+	}
+	if pred.Hit {
+		if pred.Value == actual {
+			o.stats.Correct++
+		} else {
+			o.stats.Incorrect++
+		}
+	}
+	o.inner.Update(ctx, actual, pred)
+}
+
+// Stats implements Predictor.
+func (o *Oracle) Stats() Stats { return o.stats }
+
+// Reset implements Predictor.
+func (o *Oracle) Reset() {
+	o.inner.Reset()
+	o.stats = Stats{}
+}
+
+// None is the "no VP" baseline: it never predicts. The paper's control
+// experiments (Figs. 5 and 8, "no VP" panels) run with this predictor.
+type None struct{ stats Stats }
+
+// NewNone returns the never-predicting baseline.
+func NewNone() *None { return &None{} }
+
+// Name implements Predictor.
+func (n *None) Name() string { return "none" }
+
+// Predict implements Predictor: never predicts.
+func (n *None) Predict(Context) Prediction {
+	n.stats.Lookups++
+	n.stats.NoPredictions++
+	return Prediction{}
+}
+
+// Update implements Predictor: no state to train.
+func (n *None) Update(Context, uint64, Prediction) {}
+
+// Stats implements Predictor.
+func (n *None) Stats() Stats { return n.stats }
+
+// Reset implements Predictor.
+func (n *None) Reset() { n.stats = Stats{} }

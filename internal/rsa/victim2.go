@@ -1,0 +1,278 @@
+package rsa
+
+import (
+	"fmt"
+
+	"vpsec/internal/isa"
+	"vpsec/internal/mpi"
+)
+
+// This file extends the Fig. 6 victim to true multiprecision operands:
+// a two-limb (128-bit) modulus with schoolbook limb multiplication and
+// a 256-step shift-subtract reduction, all compiled to the simulator's
+// ISA. The leak structure — unconditional multiply, balanced pointer
+// swap, receiver-forced evictions — is identical to the one-limb
+// victim; what changes is that the MPI arithmetic is now real mpih-
+// style code with carry chains (SLTU) and branch-free conditional
+// subtraction, i.e. constant-time with respect to the data.
+
+// Two-limb victim memory layout.
+const (
+	mod2Addr   = 0x100 // limbs at +0, +8
+	base2Addr  = 0x110
+	exp2Addr   = 0x120
+	res2Addr   = 0x300 // result limbs at +0, +8
+	ptr2Cell   = 0x200
+	dummy2Cell = 0x240
+	buf2A      = 0x1000 // each buffer holds two limbs in one line
+	buf2B      = 0x1040
+	buf2C      = 0x1080
+	results2At = 0x8000
+)
+
+// VictimConfig2 parameterizes the two-limb modexp victim. All values
+// are little-endian limb pairs.
+type VictimConfig2 struct {
+	Base     [2]uint64
+	Mod      [2]uint64 // odd; < 2^126 for reduction headroom
+	Exponent uint64    // the secret, up to 60 bits
+	ExpBits  int
+}
+
+// Validate checks the configuration.
+func (c VictimConfig2) Validate() error {
+	if c.Mod[0]%2 == 0 {
+		return fmt.Errorf("rsa: two-limb modulus must be odd")
+	}
+	if c.Mod[1]>>62 != 0 {
+		return fmt.Errorf("rsa: two-limb modulus needs < 2^126")
+	}
+	if c.Mod[1] == 0 && c.Mod[0] < 3 {
+		return fmt.Errorf("rsa: modulus too small")
+	}
+	if c.ExpBits < 1 || c.ExpBits > 60 {
+		return fmt.Errorf("rsa: ExpBits %d out of range [1,60]", c.ExpBits)
+	}
+	// The generated prologue assumes base < mod (libgcrypt reduces its
+	// inputs before the loop; here the caller does).
+	m := mpi.FromLimbs(c.Mod[:])
+	if mpi.FromLimbs(c.Base[:]).Cmp(m) >= 0 {
+		return fmt.Errorf("rsa: base must be < mod")
+	}
+	return nil
+}
+
+// ModInt returns the modulus as an mpi.Int.
+func (c VictimConfig2) ModInt() mpi.Int { return mpi.FromLimbs(c.Mod[:]) }
+
+// Expected computes the golden-model result.
+func (c VictimConfig2) Expected() mpi.Int {
+	exp := mpi.FromUint64(c.Exponent & bitsMask(c.ExpBits))
+	return mpi.ModExp(mpi.FromLimbs(c.Base[:]), exp, c.ModInt())
+}
+
+// BuildVictim2 compiles the two-limb Fig. 6 victim.
+//
+// Register allocation: r1,r2 = modulus limbs; r3,r4 = base limbs;
+// r5,r6 = running result; r7 = remaining exponent; r8 = bit index;
+// r9 = iteration counter; r10-r13 = mulmod2 operands; r14,r15 =
+// mulmod2 result; r16-r19 = 256-bit product; r20-r22, r29 = carry
+// temps; r31 = reduction counter; r23-r28, r30 = pointer-swap and
+// timing machinery.
+func BuildVictim2(cfg VictimConfig2) (*isa.Program, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	bits := cfg.ExpBits
+	b := isa.NewBuilder("rsa-powm-2limb")
+	b.Word(mod2Addr, cfg.Mod[0])
+	b.Word(mod2Addr+8, cfg.Mod[1])
+	b.Word(base2Addr, cfg.Base[0])
+	b.Word(base2Addr+8, cfg.Base[1])
+	b.Word(exp2Addr, cfg.Exponent)
+	b.Word(ptr2Cell, buf2A)
+	b.Word(dummy2Cell, buf2C)
+
+	// Prologue.
+	b.MovI(isa.R29, mod2Addr)
+	b.Load(isa.R1, isa.R29, 0)
+	b.Load(isa.R2, isa.R29, 8)
+	b.MovI(isa.R29, base2Addr)
+	b.Load(isa.R3, isa.R29, 0)
+	b.Load(isa.R4, isa.R29, 8)
+	b.MovI(isa.R29, exp2Addr)
+	b.Load(isa.R7, isa.R29, 0)
+	b.MovI(isa.R5, 1) // r = 1
+	b.MovI(isa.R6, 0)
+	b.MovI(isa.R23, ptr2Cell)
+	b.MovI(isa.R24, dummy2Cell)
+	b.MovI(isa.R25, buf2A+buf2B)
+	b.MovI(isa.R8, int64(bits)-1)
+	b.MovI(isa.R9, 0)
+
+	b.Label("bit_loop")
+	b.Rdtsc(isa.R27)
+
+	// Square: (r5:r6)² mod m.
+	b.Mov(isa.R10, isa.R5)
+	b.Mov(isa.R11, isa.R6)
+	b.Mov(isa.R12, isa.R5)
+	b.Mov(isa.R13, isa.R6)
+	emitMulMod2(b, "sqr")
+	b.Mov(isa.R5, isa.R14)
+	b.Mov(isa.R6, isa.R15)
+
+	// Unconditional multiply: x = r * base mod m.
+	b.Mov(isa.R10, isa.R5)
+	b.Mov(isa.R11, isa.R6)
+	b.Mov(isa.R12, isa.R3)
+	b.Mov(isa.R13, isa.R4)
+	emitMulMod2(b, "mul")
+	// x stays in r14:r15.
+
+	// Exponent bit.
+	b.ShrI(isa.R30, isa.R7, int64(bits)-1)
+	b.AndI(isa.R30, isa.R30, 1)
+	b.ShlI(isa.R7, isa.R7, 1)
+
+	b.Beq(isa.R30, isa.R0, "zero_bit")
+	// tp = rp; rp = xp; xp = tp — store both limbs through the pointer.
+	// The dereference sits before the stores, so it always reads the
+	// receiver-flushed cache (no store-buffer forwarding, no install
+	// race) and overlaps the pointer miss only under a value
+	// prediction.
+	b.Load(isa.R26, isa.R23, 0)  // the leaking pointer load
+	b.Load(isa.R22, isa.R26, 16) // dependent dereference
+	b.Store(isa.R26, 0, isa.R14)
+	b.Store(isa.R26, 8, isa.R15)
+	b.Mov(isa.R5, isa.R14)
+	b.Mov(isa.R6, isa.R15)
+	b.Sub(isa.R30, isa.R25, isa.R26)
+	b.Store(isa.R23, 0, isa.R30)
+	b.Jmp("join")
+
+	b.Label("zero_bit")
+	b.Load(isa.R26, isa.R24, 0)  // constant pointer: trains the VPS
+	b.Load(isa.R22, isa.R26, 16) // balanced dependent dereference
+	b.Store(isa.R26, 0, isa.R5)
+	b.Store(isa.R26, 8, isa.R6)
+	b.Mov(isa.R30, isa.R5)
+	b.Mov(isa.R30, isa.R6)
+	b.Nop()
+	b.Nop()
+
+	b.Label("join")
+
+	// Receiver-forced evictions.
+	b.Flush(isa.R23, 0)
+	b.Flush(isa.R24, 0)
+	b.MovI(isa.R29, buf2A)
+	b.Flush(isa.R29, 0)
+	b.MovI(isa.R29, buf2B)
+	b.Flush(isa.R29, 0)
+	b.MovI(isa.R29, buf2C)
+	b.Flush(isa.R29, 0)
+	b.Fence()
+
+	b.Rdtsc(isa.R28)
+	b.Sub(isa.R28, isa.R28, isa.R27)
+	b.ShlI(isa.R29, isa.R9, 3)
+	b.MovI(isa.R30, results2At)
+	b.Add(isa.R30, isa.R30, isa.R29)
+	b.Store(isa.R30, 0, isa.R28)
+
+	b.AddI(isa.R9, isa.R9, 1)
+	b.AddI(isa.R8, isa.R8, -1)
+	b.Bge(isa.R8, isa.R0, "bit_loop")
+
+	b.MovI(isa.R29, res2Addr)
+	b.Store(isa.R29, 0, isa.R5)
+	b.Store(isa.R29, 8, isa.R6)
+	b.Halt()
+	return b.Build()
+}
+
+// emitMulMod2 emits (r14:r15) = (r10:r11) * (r12:r13) mod (r1:r2):
+// a schoolbook 2x2-limb multiply into the 256-bit product r16..r19
+// (carry chains via SLTU), then 256 branch-free shift-subtract
+// reduction steps. Clobbers r16-r22, r29, r31.
+func emitMulMod2(b *isa.Builder, tag string) {
+	loop := "mm2_" + tag + "_loop"
+
+	// p0:p1 = a0*b0.
+	b.Mul(isa.R16, isa.R10, isa.R12)
+	b.MulHU(isa.R17, isa.R10, isa.R12)
+	// p1:p2 += a0*b1.
+	b.Mul(isa.R20, isa.R10, isa.R13)
+	b.MulHU(isa.R21, isa.R10, isa.R13)
+	b.Add(isa.R17, isa.R17, isa.R20)
+	b.SltU(isa.R22, isa.R17, isa.R20) // carry into p2
+	b.Add(isa.R18, isa.R21, isa.R22)  // p2 (no overflow: hi <= 2^64-2)
+	// p1:p2:p3 += a1*b0.
+	b.Mul(isa.R20, isa.R11, isa.R12)
+	b.MulHU(isa.R21, isa.R11, isa.R12)
+	b.Add(isa.R17, isa.R17, isa.R20)
+	b.SltU(isa.R22, isa.R17, isa.R20)
+	b.Add(isa.R18, isa.R18, isa.R21)
+	b.SltU(isa.R29, isa.R18, isa.R21)
+	b.Add(isa.R18, isa.R18, isa.R22)
+	b.SltU(isa.R22, isa.R18, isa.R22)
+	b.Add(isa.R19, isa.R29, isa.R22) // p3
+	// p2:p3 += a1*b1.
+	b.Mul(isa.R20, isa.R11, isa.R13)
+	b.MulHU(isa.R21, isa.R11, isa.R13)
+	b.Add(isa.R18, isa.R18, isa.R20)
+	b.SltU(isa.R22, isa.R18, isa.R20)
+	b.Add(isa.R19, isa.R19, isa.R21)
+	b.Add(isa.R19, isa.R19, isa.R22) // total < 2^256: no carry out
+
+	// rem = 0.
+	b.MovI(isa.R14, 0)
+	b.MovI(isa.R15, 0)
+	b.MovI(isa.R31, 256)
+	b.Label(loop)
+	// Incoming bit = p3>>63; shift the 256-bit product left by one.
+	b.ShrI(isa.R20, isa.R19, 63)
+	b.ShlI(isa.R19, isa.R19, 1)
+	b.ShrI(isa.R21, isa.R18, 63)
+	b.Or(isa.R19, isa.R19, isa.R21)
+	b.ShlI(isa.R18, isa.R18, 1)
+	b.ShrI(isa.R21, isa.R17, 63)
+	b.Or(isa.R18, isa.R18, isa.R21)
+	b.ShlI(isa.R17, isa.R17, 1)
+	b.ShrI(isa.R21, isa.R16, 63)
+	b.Or(isa.R17, isa.R17, isa.R21)
+	b.ShlI(isa.R16, isa.R16, 1)
+	// rem = rem<<1 | bit.
+	b.ShlI(isa.R15, isa.R15, 1)
+	b.ShrI(isa.R21, isa.R14, 63)
+	b.Or(isa.R15, isa.R15, isa.R21)
+	b.ShlI(isa.R14, isa.R14, 1)
+	b.Or(isa.R14, isa.R14, isa.R20)
+	// Branch-free: if rem >= m then rem -= m.
+	// lt = (rem1 < m1) | ((rem1 == m1) & (rem0 < m0))
+	b.SltU(isa.R21, isa.R15, isa.R2) // hiLt
+	b.SltU(isa.R22, isa.R2, isa.R15) // hiGt
+	b.Or(isa.R29, isa.R21, isa.R22)  // hi not equal
+	b.AddI(isa.R29, isa.R29, 1)
+	b.AndI(isa.R29, isa.R29, 1)       // hi equal
+	b.SltU(isa.R22, isa.R14, isa.R1)  // loLt
+	b.And(isa.R29, isa.R29, isa.R22)  // eq & loLt
+	b.Or(isa.R21, isa.R21, isa.R29)   // lt
+	b.AddI(isa.R21, isa.R21, -1)      // mask: all-ones when rem >= m
+	b.And(isa.R22, isa.R1, isa.R21)   // m0 & mask
+	b.And(isa.R29, isa.R2, isa.R21)   // m1 & mask
+	b.SltU(isa.R20, isa.R14, isa.R22) // borrow
+	b.Sub(isa.R14, isa.R14, isa.R22)
+	b.Sub(isa.R15, isa.R15, isa.R29)
+	b.Sub(isa.R15, isa.R15, isa.R20)
+	b.AddI(isa.R31, isa.R31, -1)
+	b.Bne(isa.R31, isa.R0, loop)
+}
+
+// Result2Addr and Results2Base expose the two-limb victim's output
+// locations.
+const (
+	Result2Addr  = res2Addr
+	Results2Base = results2At
+)

@@ -1,0 +1,46 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"vpsec/internal/stats"
+)
+
+// The paper's attack decision: two timing distributions are compared
+// with a two-tailed Welch t-test; p < 0.05 means the receiver can
+// distinguish them and the attack is effective.
+func ExampleWelchTTest() {
+	correctPrediction := []float64{174, 176, 175, 173, 177, 175, 174, 176}
+	misprediction := []float64{349, 352, 350, 348, 351, 350, 352, 349}
+	res, err := stats.WelchTTest(correctPrediction, misprediction)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("attack effective: %v\n", res.P < 0.05)
+	// Output:
+	// attack effective: true
+}
+
+func ExampleSummarize() {
+	s := stats.Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	fmt.Printf("n=%d mean=%.1f sd=%.2f\n", s.N, s.Mean, s.StdDev())
+	// Output:
+	// n=8 mean=5.0 sd=2.14
+}
+
+// Histograms back the frequency-vs-cycles panels of Figs. 5 and 8.
+func ExampleHistogram() {
+	h, err := stats.NewHistogram(0, 600, 100)
+	if err != nil {
+		panic(err)
+	}
+	h.AddAll([]float64{170, 175, 180, 350, 355})
+	for i, c := range h.Counts {
+		if c > 0 {
+			fmt.Printf("bin %.0f: %d\n", h.BinCenter(i), c)
+		}
+	}
+	// Output:
+	// bin 150: 3
+	// bin 350: 2
+}

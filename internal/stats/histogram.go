@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram bins observations into fixed-width buckets over [Min, Max).
+// It backs the timing-distribution figures (Figs. 5 and 8): the paper
+// plots frequency vs cycles for the mapped and unmapped cases.
+type Histogram struct {
+	Min, Max float64
+	Width    float64
+	Counts   []int
+	Under    int // observations below Min
+	Over     int // observations >= Max
+	Total    int
+}
+
+// NewHistogram creates a histogram with bins of the given width
+// covering [min, max). Width must be positive and max > min.
+func NewHistogram(min, max, width float64) (*Histogram, error) {
+	if width <= 0 || max <= min {
+		return nil, fmt.Errorf("stats: invalid histogram bounds [%g,%g) width %g", min, max, width)
+	}
+	n := int(math.Ceil((max - min) / width))
+	return &Histogram{Min: min, Max: max, Width: width, Counts: make([]int, n)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.Total++
+	switch {
+	case x < h.Min:
+		h.Under++
+	case x >= h.Max:
+		h.Over++
+	default:
+		i := int((x - h.Min) / h.Width)
+		if i >= len(h.Counts) {
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// AddAll records every observation in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// BinCenter returns the center value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Min + (float64(i)+0.5)*h.Width
+}
+
+// Frequencies returns per-bin frequencies in percent of Total, matching
+// the paper's y-axis ("Frequency" 0..100).
+func (h *Histogram) Frequencies() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.Total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = 100 * float64(c) / float64(h.Total)
+	}
+	return out
+}
+
+// RenderASCII renders two overlaid histograms (series a and b) as rows
+// of text, one row per non-empty bin, used by cmd/vpfigures to emit the
+// panels of Figs. 5 and 8 on a terminal.
+func RenderASCII(a, b *Histogram, labelA, labelB string, cols int) string {
+	if cols <= 0 {
+		cols = 50
+	}
+	var sb strings.Builder
+	maxPct := 1.0
+	for _, f := range append(a.Frequencies(), b.Frequencies()...) {
+		if f > maxPct {
+			maxPct = f
+		}
+	}
+	fa, fb := a.Frequencies(), b.Frequencies()
+	n := len(fa)
+	if len(fb) > n {
+		n = len(fb)
+	}
+	fmt.Fprintf(&sb, "%8s  %-*s  %-*s\n", "cycles", cols, labelA, cols, labelB)
+	for i := 0; i < n; i++ {
+		var pa, pb float64
+		var center float64
+		if i < len(fa) {
+			pa = fa[i]
+			center = a.BinCenter(i)
+		}
+		if i < len(fb) {
+			pb = fb[i]
+			if center == 0 {
+				center = b.BinCenter(i)
+			}
+		}
+		if pa == 0 && pb == 0 {
+			continue
+		}
+		barA := strings.Repeat("#", int(pa/maxPct*float64(cols)))
+		barB := strings.Repeat("*", int(pb/maxPct*float64(cols)))
+		fmt.Fprintf(&sb, "%8.0f  %-*s  %-*s\n", center, cols, barA, cols, barB)
+	}
+	return sb.String()
+}
+
+// CSV emits "bin_center,count_a,count_b" rows for plotting externally.
+func CSV(a, b *Histogram) string {
+	var sb strings.Builder
+	sb.WriteString("cycles,a_count,b_count\n")
+	n := len(a.Counts)
+	if len(b.Counts) > n {
+		n = len(b.Counts)
+	}
+	for i := 0; i < n; i++ {
+		var ca, cb int
+		var center float64
+		if i < len(a.Counts) {
+			ca = a.Counts[i]
+			center = a.BinCenter(i)
+		}
+		if i < len(b.Counts) {
+			cb = b.Counts[i]
+			if center == 0 {
+				center = b.BinCenter(i)
+			}
+		}
+		fmt.Fprintf(&sb, "%.1f,%d,%d\n", center, ca, cb)
+	}
+	return sb.String()
+}

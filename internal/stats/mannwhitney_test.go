@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMannWhitneyIdenticalDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 150)
+	ys := make([]float64, 150)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+	}
+	res, err := MannWhitneyU(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Errorf("same-distribution p = %v, expected large", res.P)
+	}
+}
+
+func TestMannWhitneySeparated(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 60)
+	ys := make([]float64, 60)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = 4 + rng.NormFloat64()
+	}
+	res, err := MannWhitneyU(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-10 {
+		t.Errorf("separated p = %v, expected tiny", res.P)
+	}
+	if res.Z >= 0 {
+		t.Errorf("z = %v, expected negative (xs stochastically smaller)", res.Z)
+	}
+}
+
+func TestMannWhitneyAgainstReference(t *testing.T) {
+	// Hand-checked asymptotic value without continuity correction
+	// (matches scipy.stats.mannwhitneyu(..., use_continuity=False,
+	// method='asymptotic')): a = [1,2,3,4,5], b = [3,4,5,6,7]:
+	// R1 = 19.5, U = 4.5, tie-corrected var = 22.5,
+	// z = -8/sqrt(22.5) = -1.6865, p = 0.0917.
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{3, 4, 5, 6, 7}
+	res, err := MannWhitneyU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U != 4.5 {
+		t.Errorf("U = %v, want 4.5", res.U)
+	}
+	if res.P < 0.091 || res.P > 0.093 {
+		t.Errorf("p = %v, want ~0.0917", res.P)
+	}
+}
+
+func TestMannWhitneyDegenerate(t *testing.T) {
+	if _, err := MannWhitneyU([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("too-few samples should fail")
+	}
+	res, err := MannWhitneyU([]float64{5, 5, 5}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("identical constants p = %v, want 1", res.P)
+	}
+}
+
+// TestMannWhitneyAgreesWithTTestOnAttackData: both tests must reach
+// the same decision on attack-shaped (bimodal, well-separated) data.
+func TestMannWhitneyAgreesWithTTestOnAttackData(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	fast := make([]float64, 100)
+	slow := make([]float64, 100)
+	for i := range fast {
+		fast[i] = 175 + float64(rng.Intn(12))
+		slow[i] = 350 + float64(rng.Intn(12))
+	}
+	mw, err := MannWhitneyU(fast, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := WelchTTest(fast, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (mw.P < 0.05) != (tt.P < 0.05) {
+		t.Errorf("decisions disagree: MW p=%v, t p=%v", mw.P, tt.P)
+	}
+}

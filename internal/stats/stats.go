@@ -1,0 +1,252 @@
+// Package stats provides the statistical machinery the paper's
+// evaluation relies on: Welch's two-sample t-test (the paper cites
+// Student's t-test [Gosset 1908] and reports two-tailed p-values),
+// 95% confidence intervals, and histogram construction for the
+// timing-distribution figures.
+//
+// Everything is implemented from first principles on top of the
+// standard library: the t-distribution CDF is computed through the
+// regularized incomplete beta function evaluated with the Lentz
+// continued-fraction method.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Sample summarizes a one-dimensional data set.
+type Sample struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1) sample variance
+}
+
+// Summarize computes the sample size, mean and unbiased variance of xs.
+func Summarize(xs []float64) Sample {
+	n := len(xs)
+	if n == 0 {
+		return Sample{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	v := 0.0
+	if n > 1 {
+		v = ss / float64(n-1)
+	}
+	return Sample{N: n, Mean: mean, Variance: v}
+}
+
+// StdDev returns the sample standard deviation.
+func (s Sample) StdDev() float64 { return math.Sqrt(s.Variance) }
+
+// TTestResult holds the outcome of a two-sample Welch t-test.
+type TTestResult struct {
+	T  float64 // t statistic
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-tailed p-value
+}
+
+// ErrTooFewSamples is returned when a test needs more observations.
+var ErrTooFewSamples = errors.New("stats: need at least two observations per sample")
+
+// WelchTTest performs a two-sample, two-tailed Welch t-test on xs and ys.
+// This is the test used throughout the paper's evaluation to decide
+// whether the "mapped" and "unmapped" timing distributions are
+// distinguishable: p < 0.05 means the attack succeeds.
+func WelchTTest(xs, ys []float64) (TTestResult, error) {
+	a, b := Summarize(xs), Summarize(ys)
+	return WelchTTestSummary(a, b)
+}
+
+// WelchTTestSummary is WelchTTest on precomputed summaries.
+func WelchTTestSummary(a, b Sample) (TTestResult, error) {
+	if a.N < 2 || b.N < 2 {
+		return TTestResult{}, ErrTooFewSamples
+	}
+	va := a.Variance / float64(a.N)
+	vb := b.Variance / float64(b.N)
+	se2 := va + vb
+	if se2 == 0 {
+		// Identical constant samples: indistinguishable if the means
+		// match, trivially distinguishable otherwise.
+		if a.Mean == b.Mean {
+			return TTestResult{T: 0, DF: float64(a.N + b.N - 2), P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(sign(a.Mean - b.Mean)), DF: float64(a.N + b.N - 2), P: 0}, nil
+	}
+	t := (a.Mean - b.Mean) / math.Sqrt(se2)
+	df := se2 * se2 / (va*va/float64(a.N-1) + vb*vb/float64(b.N-1))
+	p := 2 * StudentTCDFUpper(math.Abs(t), df)
+	if p > 1 {
+		p = 1
+	}
+	return TTestResult{T: t, DF: df, P: p}, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// StudentTCDFUpper returns P(T > t) for a Student t variable with df
+// degrees of freedom, for t >= 0.
+func StudentTCDFUpper(t, df float64) float64 {
+	if t < 0 {
+		return 1 - StudentTCDFUpper(-t, df)
+	}
+	if math.IsInf(t, 1) {
+		return 0
+	}
+	// P(T > t) = 0.5 * I_{df/(df+t^2)}(df/2, 1/2)
+	x := df / (df + t*t)
+	return 0.5 * RegIncBeta(df/2, 0.5, x)
+}
+
+// RegIncBeta computes the regularized incomplete beta function
+// I_x(a, b) using the continued-fraction expansion (Numerical Recipes
+// style, with the modified Lentz algorithm).
+func RegIncBeta(a, b, x float64) float64 {
+	if x < 0 || x > 1 || math.IsNaN(x) {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x == 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(math.Log(x)*a + math.Log(1-x)*b + lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// ConfidenceInterval95 returns the 95% confidence interval for the mean
+// of xs using the Student t distribution (as the paper reports for its
+// 100-run averages).
+func ConfidenceInterval95(xs []float64) (lo, hi float64) {
+	s := Summarize(xs)
+	if s.N < 2 {
+		return s.Mean, s.Mean
+	}
+	tcrit := StudentTQuantile(0.975, float64(s.N-1))
+	half := tcrit * s.StdDev() / math.Sqrt(float64(s.N))
+	return s.Mean - half, s.Mean + half
+}
+
+// StudentTQuantile returns the p-quantile (0<p<1) of the Student t
+// distribution with df degrees of freedom, by bisection on the CDF.
+func StudentTQuantile(p, df float64) float64 {
+	if p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	cdf := func(t float64) float64 {
+		if t >= 0 {
+			return 1 - StudentTCDFUpper(t, df)
+		}
+		return StudentTCDFUpper(-t, df)
+	}
+	lo, hi := -1e3, 1e3
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if cdf(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Percentile returns the q-th percentile (0..100) of xs using linear
+// interpolation between order statistics.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	if q <= 0 {
+		return ys[0]
+	}
+	if q >= 100 {
+		return ys[len(ys)-1]
+	}
+	pos := q / 100 * float64(len(ys)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(ys) {
+		return ys[len(ys)-1]
+	}
+	return ys[i]*(1-frac) + ys[i+1]*frac
+}

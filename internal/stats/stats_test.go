@@ -1,0 +1,332 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d, want 8", s.N)
+	}
+	if !almostEqual(s.Mean, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	// sum of squared deviations = 32, unbiased variance = 32/7
+	if !almostEqual(s.Variance, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", s.Variance, 32.0/7.0)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 || s.Variance != 0 {
+		t.Errorf("empty summarize = %+v", s)
+	}
+	if s := Summarize([]float64{3}); s.N != 1 || s.Mean != 3 || s.Variance != 0 {
+		t.Errorf("single summarize = %+v", s)
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	cases := []struct{ a, b, x, want float64 }{
+		{1, 1, 0.5, 0.5},     // uniform CDF
+		{2, 2, 0.5, 0.5},     // symmetric
+		{1, 1, 0.25, 0.25},   // uniform
+		{2, 1, 0.5, 0.25},    // I_x(2,1) = x^2
+		{1, 2, 0.5, 0.75},    // I_x(1,2) = 1-(1-x)^2
+		{5, 3, 1.0, 1.0},     // boundary
+		{5, 3, 0.0, 0.0},     // boundary
+		{0.5, 0.5, 0.5, 0.5}, // arcsine distribution median
+	}
+	for _, c := range cases {
+		got := RegIncBeta(c.a, c.b, c.x)
+		if !almostEqual(got, c.want, 1e-10) {
+			t.Errorf("RegIncBeta(%v,%v,%v) = %v, want %v", c.a, c.b, c.x, got, c.want)
+		}
+	}
+}
+
+func TestRegIncBetaInvalid(t *testing.T) {
+	if !math.IsNaN(RegIncBeta(1, 1, -0.1)) || !math.IsNaN(RegIncBeta(1, 1, 1.1)) {
+		t.Error("RegIncBeta should be NaN outside [0,1]")
+	}
+}
+
+func TestStudentTCDFUpperKnownValues(t *testing.T) {
+	// Classic t-table values: P(T > t) for given df.
+	cases := []struct{ tval, df, want, tol float64 }{
+		{0, 5, 0.5, 1e-12},
+		{1.0, 1, 0.25, 1e-6},     // Cauchy: P(T>1) = 1/4
+		{12.706, 1, 0.025, 1e-4}, // 95% two-sided critical, df=1
+		{2.776, 4, 0.025, 1e-4},  // df=4
+		{1.96, 1e7, 0.025, 1e-4}, // approaches normal
+	}
+	for _, c := range cases {
+		got := StudentTCDFUpper(c.tval, c.df)
+		if !almostEqual(got, c.want, c.tol) {
+			t.Errorf("StudentTCDFUpper(%v, df=%v) = %v, want %v", c.tval, c.df, got, c.want)
+		}
+	}
+}
+
+func TestStudentTCDFSymmetry(t *testing.T) {
+	for _, df := range []float64{1, 3, 10, 50} {
+		for _, tv := range []float64{0.3, 1.1, 2.5} {
+			up := StudentTCDFUpper(tv, df)
+			lo := StudentTCDFUpper(-tv, df)
+			if !almostEqual(up+lo, 1, 1e-10) {
+				t.Errorf("symmetry broken: df=%v t=%v: %v + %v != 1", df, tv, up, lo)
+			}
+		}
+	}
+}
+
+func TestStudentTQuantileRoundTrip(t *testing.T) {
+	for _, df := range []float64{2, 5, 30} {
+		for _, p := range []float64{0.6, 0.9, 0.975, 0.995} {
+			q := StudentTQuantile(p, df)
+			back := 1 - StudentTCDFUpper(q, df)
+			if !almostEqual(back, p, 1e-6) {
+				t.Errorf("quantile round-trip df=%v p=%v: got %v", df, p, back)
+			}
+		}
+	}
+}
+
+func TestWelchTTestIdenticalDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+	}
+	res, err := WelchTTest(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Errorf("same-distribution p = %v, expected large", res.P)
+	}
+}
+
+func TestWelchTTestSeparatedDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = 5 + rng.NormFloat64()
+	}
+	res, err := WelchTTest(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-10 {
+		t.Errorf("separated-distribution p = %v, expected tiny", res.P)
+	}
+}
+
+func TestWelchTTestAgainstReference(t *testing.T) {
+	// Reference computed with scipy.stats.ttest_ind(equal_var=False):
+	// a = [30.02, 29.99, 30.11, 29.97, 30.01, 29.99]
+	// b = [29.89, 29.93, 29.72, 29.98, 30.02, 29.98]
+	// t = 1.959, df = 7.03, p = 0.0907
+	a := []float64{30.02, 29.99, 30.11, 29.97, 30.01, 29.99}
+	b := []float64{29.89, 29.93, 29.72, 29.98, 30.02, 29.98}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.T, 1.959, 5e-3) {
+		t.Errorf("t = %v, want 1.959", res.T)
+	}
+	if !almostEqual(res.DF, 7.03, 5e-2) {
+		t.Errorf("df = %v, want 7.03", res.DF)
+	}
+	if !almostEqual(res.P, 0.0907, 5e-4) {
+		t.Errorf("p = %v, want 0.0907", res.P)
+	}
+}
+
+func TestWelchTTestDegenerate(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected error for single observation")
+	}
+	res, err := WelchTTest([]float64{5, 5, 5}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("identical constants p = %v, want 1", res.P)
+	}
+	res, err = WelchTTest([]float64{5, 5, 5}, []float64{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 {
+		t.Errorf("different constants p = %v, want 0", res.P)
+	}
+}
+
+func TestConfidenceInterval95(t *testing.T) {
+	// For a sample of n=4 with mean 10, sd 2: half-width = 3.182*2/2 = 3.182
+	xs := []float64{8, 9, 11, 12}
+	lo, hi := ConfidenceInterval95(xs)
+	s := Summarize(xs)
+	want := StudentTQuantile(0.975, 3) * s.StdDev() / 2
+	if !almostEqual(hi-s.Mean, want, 1e-6) || !almostEqual(s.Mean-lo, want, 1e-6) {
+		t.Errorf("CI = [%v, %v], want half-width %v around %v", lo, hi, want, s.Mean)
+	}
+}
+
+func TestConfidenceIntervalCoverage(t *testing.T) {
+	// Empirical check: the 95% CI should cover the true mean ~95% of the
+	// time. Allow a generous band since we only run 400 trials.
+	rng := rand.New(rand.NewSource(3))
+	const trials = 400
+	covered := 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 20)
+		for j := range xs {
+			xs[j] = 3 + 2*rng.NormFloat64()
+		}
+		lo, hi := ConfidenceInterval95(xs)
+		if lo <= 3 && 3 <= hi {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.90 || frac > 0.99 {
+		t.Errorf("CI coverage = %v, want ~0.95", frac)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("P50 = %v, want 3", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("P100 = %v, want 5", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("P25 = %v, want 2", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h, err := NewHistogram(0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{5, 15, 15, 99, -1, 100, 150})
+	if h.Counts[0] != 1 || h.Counts[1] != 2 || h.Counts[9] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Total != 7 {
+		t.Errorf("total = %d", h.Total)
+	}
+	if c := h.BinCenter(1); c != 15 {
+		t.Errorf("BinCenter(1) = %v, want 15", c)
+	}
+	fr := h.Frequencies()
+	if !almostEqual(fr[1], 100*2.0/7.0, 1e-9) {
+		t.Errorf("freq[1] = %v", fr[1])
+	}
+}
+
+func TestHistogramInvalid(t *testing.T) {
+	if _, err := NewHistogram(0, 100, 0); err == nil {
+		t.Error("zero width should fail")
+	}
+	if _, err := NewHistogram(100, 0, 10); err == nil {
+		t.Error("inverted bounds should fail")
+	}
+}
+
+func TestHistogramRenderAndCSV(t *testing.T) {
+	a, _ := NewHistogram(0, 40, 10)
+	b, _ := NewHistogram(0, 40, 10)
+	a.AddAll([]float64{5, 5, 15})
+	b.AddAll([]float64{35, 35})
+	out := RenderASCII(a, b, "mapped", "unmapped", 20)
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	csv := CSV(a, b)
+	if csv == "" || csv[:6] != "cycles" {
+		t.Fatalf("bad csv: %q", csv)
+	}
+}
+
+func TestPropertyVarianceNonNegative(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		return Summarize(xs).Variance >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRegIncBetaMonotone(t *testing.T) {
+	f := func(a8, b8 uint8, x1, x2 float64) bool {
+		a := 0.5 + float64(a8%40)/4
+		b := 0.5 + float64(b8%40)/4
+		x1 = math.Mod(math.Abs(x1), 1)
+		x2 = math.Mod(math.Abs(x2), 1)
+		if math.IsNaN(x1) || math.IsNaN(x2) {
+			return true
+		}
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		i1, i2 := RegIncBeta(a, b, x1), RegIncBeta(a, b, x2)
+		return i1 <= i2+1e-9 && i1 >= -1e-12 && i2 <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTTestSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 30)
+		ys := make([]float64, 25)
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+		}
+		for i := range ys {
+			ys[i] = rng.Float64()*10 + 1
+		}
+		r1, err1 := WelchTTest(xs, ys)
+		r2, err2 := WelchTTest(ys, xs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(r1.P, r2.P, 1e-12) && almostEqual(r1.T, -r2.T, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

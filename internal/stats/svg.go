@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders the evaluation figures as standalone SVG documents
+// so cmd/vpfigures can emit files that look like the paper's plots
+// (frequency-vs-cycles histogram panels, and the Fig. 7 iteration
+// scatter) without any graphics dependency.
+
+const (
+	svgW     = 520
+	svgH     = 300
+	svgLeft  = 56
+	svgRight = 16
+	svgTop   = 40
+	svgBot   = 44
+)
+
+func svgHeader(title string) string {
+	return fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">
+<rect width="%d" height="%d" fill="white"/>
+<text x="%d" y="22" font-size="14" text-anchor="middle">%s</text>
+`, svgW, svgH, svgW, svgH, svgW, svgH, svgW/2, title)
+}
+
+// HistogramSVG renders two overlaid histograms as an SVG panel in the
+// style of Figs. 5 and 8: x = cycles, y = frequency (% of runs).
+func HistogramSVG(a, b *Histogram, title, labelA, labelB string) string {
+	plotW := float64(svgW - svgLeft - svgRight)
+	plotH := float64(svgH - svgTop - svgBot)
+	fa, fb := a.Frequencies(), b.Frequencies()
+	maxF := 1.0
+	for _, f := range append(append([]float64(nil), fa...), fb...) {
+		if f > maxF {
+			maxF = f
+		}
+	}
+	n := len(fa)
+	if len(fb) > n {
+		n = len(fb)
+	}
+	binW := plotW / float64(n)
+
+	var sb strings.Builder
+	sb.WriteString(svgHeader(title))
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>
+<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>
+`, svgLeft, svgH-svgBot, svgW-svgRight, svgH-svgBot,
+		svgLeft, svgTop, svgLeft, svgH-svgBot)
+	// Y label + ticks.
+	fmt.Fprintf(&sb, `<text x="14" y="%d" font-size="11" transform="rotate(-90 14 %d)" text-anchor="middle">Frequency (%%)</text>
+`, svgTop+int(plotH/2), svgTop+int(plotH/2))
+	for _, frac := range []float64{0, 0.5, 1} {
+		y := float64(svgH-svgBot) - frac*plotH
+		fmt.Fprintf(&sb, `<text x="%d" y="%.0f" font-size="10" text-anchor="end">%.0f</text>
+`, svgLeft-6, y+3, frac*maxF)
+	}
+	// X ticks: bin centers at quarters.
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		i := int(frac * float64(n-1))
+		x := float64(svgLeft) + (float64(i)+0.5)*binW
+		fmt.Fprintf(&sb, `<text x="%.0f" y="%d" font-size="10" text-anchor="middle">%.0f</text>
+`, x, svgH-svgBot+14, a.BinCenter(i))
+	}
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="11" text-anchor="middle">Cycles</text>
+`, svgLeft+int(plotW/2), svgH-10)
+
+	bars := func(f []float64, color string, shift float64) {
+		for i, v := range f {
+			if v <= 0 {
+				continue
+			}
+			h := v / maxF * plotH
+			x := float64(svgLeft) + float64(i)*binW + shift
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.65"/>
+`, x, float64(svgH-svgBot)-h, binW/2-1, h, color)
+		}
+	}
+	bars(fa, "#1f4e8c", 1)      // series A: left half of each bin
+	bars(fb, "#c23b22", binW/2) // series B: right half
+
+	// Legend.
+	fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="10" height="10" fill="#1f4e8c" fill-opacity="0.65"/><text x="%d" y="%d" font-size="11">%s</text>
+<rect x="%d" y="%d" width="10" height="10" fill="#c23b22" fill-opacity="0.65"/><text x="%d" y="%d" font-size="11">%s</text>
+`, svgW-210, svgTop, svgW-195, svgTop+9, labelA,
+		svgW-210, svgTop+16, svgW-195, svgTop+25, labelB)
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// SeriesPoint is one observation of a labeled scatter series.
+type SeriesPoint struct {
+	X     float64
+	Y     float64
+	Label int // series index (0 or 1)
+}
+
+// ScatterSVG renders the Fig. 7 style iteration scatter: x =
+// iteration, y = cycles, two labeled series.
+func ScatterSVG(points []SeriesPoint, title, label0, label1 string) string {
+	plotW := float64(svgW - svgLeft - svgRight)
+	plotH := float64(svgH - svgTop - svgBot)
+	if len(points) == 0 {
+		return svgHeader(title) + "</svg>\n"
+	}
+	minX, maxX := points[0].X, points[0].X
+	minY, maxY := points[0].Y, points[0].Y
+	for _, p := range points {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	// Pad the y range 10% each side.
+	pad := (maxY - minY) * 0.1
+	if pad == 0 {
+		pad = 1
+	}
+	minY -= pad
+	maxY += pad
+
+	var sb strings.Builder
+	sb.WriteString(svgHeader(title))
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>
+<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>
+`, svgLeft, svgH-svgBot, svgW-svgRight, svgH-svgBot,
+		svgLeft, svgTop, svgLeft, svgH-svgBot)
+	fmt.Fprintf(&sb, `<text x="14" y="%d" font-size="11" transform="rotate(-90 14 %d)" text-anchor="middle">Cycles</text>
+<text x="%d" y="%d" font-size="11" text-anchor="middle">Iteration</text>
+`, svgTop+int(plotH/2), svgTop+int(plotH/2), svgLeft+int(plotW/2), svgH-10)
+	for _, fy := range []float64{minY, (minY + maxY) / 2, maxY} {
+		y := float64(svgH-svgBot) - (fy-minY)/(maxY-minY)*plotH
+		fmt.Fprintf(&sb, `<text x="%d" y="%.0f" font-size="10" text-anchor="end">%.0f</text>
+`, svgLeft-6, y+3, fy)
+	}
+	colors := []string{"#1f4e8c", "#c23b22"}
+	for _, p := range points {
+		x := float64(svgLeft) + (p.X-minX)/(maxX-minX)*plotW
+		y := float64(svgH-svgBot) - (p.Y-minY)/(maxY-minY)*plotH
+		c := colors[p.Label%2]
+		fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>
+`, x, y, c)
+	}
+	fmt.Fprintf(&sb, `<circle cx="%d" cy="%d" r="4" fill="#1f4e8c"/><text x="%d" y="%d" font-size="11">%s</text>
+<circle cx="%d" cy="%d" r="4" fill="#c23b22"/><text x="%d" y="%d" font-size="11">%s</text>
+`, svgW-210, svgTop+4, svgW-198, svgTop+8, label0,
+		svgW-210, svgTop+20, svgW-198, svgTop+24, label1)
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}

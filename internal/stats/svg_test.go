@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramSVG(t *testing.T) {
+	a, _ := NewHistogram(0, 600, 25)
+	b, _ := NewHistogram(0, 600, 25)
+	a.AddAll([]float64{170, 175, 180, 172})
+	b.AddAll([]float64{350, 352, 349})
+	out := HistogramSVG(a, b, "Timing-Window Channel (LVP)", "mapped", "unmapped")
+	for _, want := range []string{"<svg", "</svg>", "Timing-Window Channel (LVP)", "mapped", "unmapped", "<rect", "Frequency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Well-formedness basics: balanced svg tags, no NaNs.
+	if strings.Count(out, "<svg") != 1 || strings.Count(out, "</svg>") != 1 {
+		t.Error("unbalanced svg tags")
+	}
+	if strings.Contains(out, "NaN") {
+		t.Error("NaN leaked into SVG")
+	}
+}
+
+func TestScatterSVG(t *testing.T) {
+	var pts []SeriesPoint
+	for i := 0; i < 24; i++ {
+		y := 290.0
+		lbl := 0
+		if i%3 == 0 {
+			y = 330
+			lbl = 1
+		}
+		pts = append(pts, SeriesPoint{X: float64(i), Y: y, Label: lbl})
+	}
+	out := ScatterSVG(pts, "Fig. 7", "e_bit=0", "e_bit=1")
+	for _, want := range []string{"<svg", "</svg>", "Fig. 7", "circle", "e_bit=0", "e_bit=1", "Iteration"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<circle") < 24 {
+		t.Error("missing data points")
+	}
+	// Degenerate inputs must not panic or divide by zero.
+	if out := ScatterSVG(nil, "empty", "a", "b"); !strings.Contains(out, "</svg>") {
+		t.Error("empty scatter malformed")
+	}
+	one := ScatterSVG([]SeriesPoint{{X: 1, Y: 5}}, "one", "a", "b")
+	if strings.Contains(one, "NaN") {
+		t.Error("single-point scatter produced NaN")
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ExportKanata writes the recorded events in the Kanata log format
+// (the pipeline-visualizer format used by the Onikiri2/Konata tools),
+// so traces from this simulator can be opened in a graphical viewer:
+//
+//	Kanata	0004
+//	C=	<start cycle>
+//	I	<display-id>	<instr-id>	<thread>
+//	L	<id>	0	<text>
+//	S	<id>	0	<stage>
+//	C	<delta cycles>
+//	R	<id>	<retire-id>	<flush:0|1>
+//
+// Stages map as F (fetch), I (issue), W (writeback), Cm (commit).
+func (r *Recorder) ExportKanata(w io.Writer) error {
+	evs := append([]Event(nil), r.events...)
+	if len(evs) == 0 {
+		_, err := fmt.Fprintln(w, "Kanata\t0004")
+		return err
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Cycle < evs[j].Cycle })
+
+	if _, err := fmt.Fprintln(w, "Kanata\t0004"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "C=\t%d\n", evs[0].Cycle); err != nil {
+		return err
+	}
+	cur := evs[0].Cycle
+	introduced := map[uint64]bool{}
+	retired := map[uint64]bool{}
+	var retireID uint64 = 1
+	for _, ev := range evs {
+		if ev.Cycle > cur {
+			if _, err := fmt.Fprintf(w, "C\t%d\n", ev.Cycle-cur); err != nil {
+				return err
+			}
+			cur = ev.Cycle
+		}
+		if !introduced[ev.Seq] {
+			introduced[ev.Seq] = true
+			if _, err := fmt.Fprintf(w, "I\t%d\t%d\t0\n", ev.Seq, ev.Seq); err != nil {
+				return err
+			}
+			if ev.Text != "" {
+				if _, err := fmt.Fprintf(w, "L\t%d\t0\t%s\n", ev.Seq, ev.Text); err != nil {
+					return err
+				}
+			}
+		}
+		switch ev.Kind {
+		case Fetch:
+			if _, err := fmt.Fprintf(w, "S\t%d\t0\tF\n", ev.Seq); err != nil {
+				return err
+			}
+		case Issue:
+			if _, err := fmt.Fprintf(w, "S\t%d\t0\tI\n", ev.Seq); err != nil {
+				return err
+			}
+		case Predict:
+			if _, err := fmt.Fprintf(w, "L\t%d\t1\tvalue-predicted\n", ev.Seq); err != nil {
+				return err
+			}
+		case Verify:
+			if _, err := fmt.Fprintf(w, "L\t%d\t1\tverify:%s\n", ev.Seq, ev.Text); err != nil {
+				return err
+			}
+		case Writeback:
+			if _, err := fmt.Fprintf(w, "S\t%d\t0\tW\n", ev.Seq); err != nil {
+				return err
+			}
+		case Commit:
+			if !retired[ev.Seq] {
+				retired[ev.Seq] = true
+				if _, err := fmt.Fprintf(w, "R\t%d\t%d\t0\n", ev.Seq, retireID); err != nil {
+					return err
+				}
+				retireID++
+			}
+		case Squash:
+			if !retired[ev.Seq] {
+				retired[ev.Seq] = true
+				if _, err := fmt.Fprintf(w, "R\t%d\t0\t1\n", ev.Seq); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

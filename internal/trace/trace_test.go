@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(3)
+	if !r.Enabled() {
+		t.Fatal("new recorder should be enabled")
+	}
+	for i := uint64(0); i < 5; i++ {
+		r.Record(Event{Cycle: i, Kind: Fetch, Seq: i})
+	}
+	if len(r.Events()) != 3 || r.Dropped() != 2 {
+		t.Errorf("events=%d dropped=%d", len(r.Events()), r.Dropped())
+	}
+	r.Reset()
+	if len(r.Events()) != 0 || r.Dropped() != 0 {
+		t.Error("reset incomplete")
+	}
+	var nilRec *Recorder
+	if nilRec.Enabled() {
+		t.Error("nil recorder should be disabled")
+	}
+	nilRec.Record(Event{}) // must not panic
+}
+
+func TestKindNames(t *testing.T) {
+	for _, k := range []Kind{Fetch, Issue, Writeback, Commit, Squash, Predict, Verify} {
+		if k.String() == "?" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	if Kind(99).String() != "?" {
+		t.Error("unknown kind name")
+	}
+}
+
+func TestRenderPipeline(t *testing.T) {
+	r := NewRecorder(0)
+	// Instruction 0: a predicted load; instruction 1: a squashed add.
+	r.Record(Event{Cycle: 10, Kind: Fetch, Seq: 0, PC: 5, Text: "load r2, [r1+0]"})
+	r.Record(Event{Cycle: 11, Kind: Issue, Seq: 0, PC: 5})
+	r.Record(Event{Cycle: 12, Kind: Predict, Seq: 0, PC: 5})
+	r.Record(Event{Cycle: 13, Kind: Writeback, Seq: 0, PC: 5})
+	r.Record(Event{Cycle: 30, Kind: Verify, Seq: 0, PC: 5, Text: "wrong"})
+	r.Record(Event{Cycle: 10, Kind: Fetch, Seq: 1, PC: 6, Text: "add r3, r2, r2"})
+	r.Record(Event{Cycle: 30, Kind: Squash, Seq: 1, PC: 6})
+
+	out := r.RenderPipeline(0, 1)
+	for _, want := range []string{"load r2", "add r3", "[verify wrong]", "[squashed]", "F", "P", "x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if got := r.RenderPipeline(50, 60); !strings.Contains(got, "no events") {
+		t.Error("empty range should say so")
+	}
+}
+
+func TestRenderTruncatesWideWindows(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{Cycle: 0, Kind: Fetch, Seq: 0, Text: "nop"})
+	r.Record(Event{Cycle: 10_000, Kind: Commit, Seq: 0})
+	out := r.RenderPipeline(0, 0)
+	if !strings.Contains(out, "truncated") {
+		t.Error("wide window should be truncated")
+	}
+}
+
+func TestExportKanata(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{Cycle: 5, Kind: Fetch, Seq: 0, Text: "load r2, [r1+0]"})
+	r.Record(Event{Cycle: 6, Kind: Issue, Seq: 0})
+	r.Record(Event{Cycle: 6, Kind: Predict, Seq: 0})
+	r.Record(Event{Cycle: 7, Kind: Writeback, Seq: 0})
+	r.Record(Event{Cycle: 9, Kind: Verify, Seq: 0, Text: "correct"})
+	r.Record(Event{Cycle: 10, Kind: Commit, Seq: 0})
+	r.Record(Event{Cycle: 6, Kind: Fetch, Seq: 1, Text: "add r3, r2, r2"})
+	r.Record(Event{Cycle: 10, Kind: Squash, Seq: 1})
+
+	var sb strings.Builder
+	if err := r.ExportKanata(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Kanata\t0004", "C=\t5", "I\t0\t0\t0", "L\t0\t0\tload r2",
+		"S\t0\t0\tF", "S\t0\t0\tI", "value-predicted", "verify:correct",
+		"R\t0\t1\t0", "R\t1\t0\t1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("kanata log missing %q:\n%s", want, out)
+		}
+	}
+	// Empty recorder still emits a valid header.
+	var empty strings.Builder
+	if err := NewRecorder(0).ExportKanata(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "Kanata") {
+		t.Error("empty export missing header")
+	}
+}
+
+func TestEnableAndClip(t *testing.T) {
+	var r Recorder // zero value: disabled
+	r.Record(Event{Kind: Fetch})
+	if len(r.Events()) != 0 {
+		t.Error("disabled recorder kept events")
+	}
+	r.Enable()
+	r.Record(Event{Kind: Fetch, Text: "a very long disassembly string for clipping"})
+	if len(r.Events()) != 1 {
+		t.Error("enabled recorder dropped an event")
+	}
+	out := r.RenderPipeline(0, 0)
+	if !strings.Contains(out, "…") {
+		t.Errorf("long text not clipped:\n%s", out)
+	}
+}

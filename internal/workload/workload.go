@@ -1,0 +1,334 @@
+// Package workload provides value-locality benchmark kernels for the
+// performance side of the paper: the introduction cites value
+// predictors improving processor performance by 4.8% [Sheikh et al.]
+// to 11.2% [Perais & Seznec], and Sec. VI-B trades R-type window size
+// against performance. The kernels here exercise the canonical value-
+// prediction win — breaking serialized load dependence chains — and
+// the evaluation measures IPC with and without a predictor, and under
+// the defenses.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vpsec/internal/cpu"
+	"vpsec/internal/isa"
+	"vpsec/internal/mem"
+	"vpsec/internal/predictor"
+)
+
+// Kernel families: PointerChase (serialized, value-predictable),
+// ALUMix (compute-bound control), HashProbe (random, unpredictable),
+// StreamSum (independent streaming).
+
+// Memory layout for the kernels.
+const (
+	nodeBase   = 0x10000 // linked-list nodes, one per cache line
+	nodeStride = 64
+	scratch    = 0x1000
+)
+
+// PointerChase builds a serialized pointer-chase over a ring of nodes
+// traversed for laps rounds. Each node's next pointer is constant
+// across laps, so a value predictor learns it and overlaps the chain's
+// misses; without prediction every hop serializes on DRAM.
+//
+// When unrolled is true each hop is a distinct load instruction, so a
+// PC-indexed predictor holds one entry per node; when false the single
+// in-loop load only trains a data-address-indexed predictor.
+func PointerChase(nodes, laps int, unrolled bool) (*isa.Program, error) {
+	if nodes < 2 || laps < 1 {
+		return nil, fmt.Errorf("workload: need >= 2 nodes and >= 1 lap")
+	}
+	if unrolled && nodes > 512 {
+		return nil, fmt.Errorf("workload: unrolled chase capped at 512 nodes")
+	}
+	b := isa.NewBuilder(fmt.Sprintf("chase-n%d-l%d", nodes, laps))
+	// Ring: node i -> node i+1, last -> first.
+	for i := 0; i < nodes; i++ {
+		next := nodeBase + uint64((i+1)%nodes)*nodeStride
+		b.Word(nodeBase+uint64(i)*nodeStride, next)
+	}
+	b.MovI(isa.R1, nodeBase) // current
+	b.MovI(isa.R3, 0)        // lap counter
+	b.MovI(isa.R4, int64(laps))
+	b.Label("lap")
+	if unrolled {
+		for i := 0; i < nodes; i++ {
+			b.Load(isa.R1, isa.R1, 0) // distinct PC per hop
+		}
+	} else {
+		b.MovI(isa.R5, 0)
+		b.MovI(isa.R6, int64(nodes))
+		b.Label("hop")
+		b.Load(isa.R1, isa.R1, 0) // single PC: needs addr-indexed VPS
+		b.AddI(isa.R5, isa.R5, 1)
+		b.Blt(isa.R5, isa.R6, "hop")
+	}
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Blt(isa.R3, isa.R4, "lap")
+	// Publish the final cursor so the run is externally checkable.
+	b.MovI(isa.R10, scratch)
+	b.Store(isa.R10, 0, isa.R1)
+	b.Halt()
+	return b.Build()
+}
+
+// ALUMix builds a compute-bound control kernel (no memory dependence
+// chains): value prediction should neither help nor hurt it.
+func ALUMix(iters int) (*isa.Program, error) {
+	if iters < 1 {
+		return nil, fmt.Errorf("workload: iters must be positive")
+	}
+	b := isa.NewBuilder(fmt.Sprintf("alumix-%d", iters))
+	b.MovI(isa.R1, 0x9e3779b9)
+	b.MovI(isa.R2, 12345)
+	b.MovI(isa.R3, 0)
+	b.MovI(isa.R4, int64(iters))
+	b.Label("loop")
+	b.Mul(isa.R2, isa.R2, isa.R1)
+	b.Xor(isa.R5, isa.R2, isa.R1)
+	b.ShrI(isa.R6, isa.R5, 13)
+	b.Add(isa.R2, isa.R2, isa.R6)
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Blt(isa.R3, isa.R4, "loop")
+	b.MovI(isa.R10, scratch)
+	b.Store(isa.R10, 0, isa.R2)
+	b.Halt()
+	return b.Build()
+}
+
+// SmallHierarchy builds a deliberately tiny cache hierarchy (512 B L1,
+// 2 KiB L2) so kernels with modest footprints exhibit the capacity
+// misses value prediction hides, keeping simulations fast.
+func SmallHierarchy() *mem.Hierarchy {
+	l1, err := mem.NewCache(mem.CacheConfig{Name: "L1D", Sets: 4, Ways: 2, LineBytes: 64, HitLatency: 3})
+	if err != nil {
+		panic(err)
+	}
+	l2, err := mem.NewCache(mem.CacheConfig{Name: "L2", Sets: 16, Ways: 2, LineBytes: 64, HitLatency: 12})
+	if err != nil {
+		panic(err)
+	}
+	return &mem.Hierarchy{L1: l1, L2: l2, Mem: mem.NewMemory(150)}
+}
+
+// Measurement runs one kernel under one predictor configuration.
+type Measurement struct {
+	Name    string
+	Cycles  uint64
+	Retired uint64
+	IPC     float64
+	Correct uint64 // verified-correct value predictions
+	Wrong   uint64
+}
+
+// MeasureIPC runs prog on a fresh machine with the given predictor
+// (nil = no VP) and returns the measurement.
+func MeasureIPC(prog *isa.Program, pred predictor.Predictor, seed int64) (Measurement, error) {
+	m, err := cpu.NewMachine(cpu.Config{}, SmallHierarchy(), pred, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return Measurement{}, err
+	}
+	proc, err := m.NewProcess(1, prog, 0)
+	if err != nil {
+		return Measurement{}, err
+	}
+	res, err := m.Run(proc)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{
+		Name:    prog.Name,
+		Cycles:  res.Cycles,
+		Retired: res.Retired,
+		IPC:     res.IPC(),
+		Correct: res.VerifyCorrect,
+		Wrong:   res.VerifyWrong,
+	}, nil
+}
+
+// SpeedupResult compares a kernel without and with value prediction.
+type SpeedupResult struct {
+	Kernel  string
+	Base    Measurement // no VP
+	VP      Measurement
+	Speedup float64 // base cycles / VP cycles
+}
+
+// Speedup measures prog under no-VP and under mkPred's predictor.
+func Speedup(prog *isa.Program, mkPred func() (predictor.Predictor, error), seed int64) (SpeedupResult, error) {
+	base, err := MeasureIPC(prog, nil, seed)
+	if err != nil {
+		return SpeedupResult{}, err
+	}
+	pred, err := mkPred()
+	if err != nil {
+		return SpeedupResult{}, err
+	}
+	vp, err := MeasureIPC(prog, pred, seed)
+	if err != nil {
+		return SpeedupResult{}, err
+	}
+	return SpeedupResult{
+		Kernel:  prog.Name,
+		Base:    base,
+		VP:      vp,
+		Speedup: float64(base.Cycles) / float64(vp.Cycles),
+	}, nil
+}
+
+// LVPByPC returns an LVP factory indexed by PC (the common case).
+func LVPByPC(confidence int) func() (predictor.Predictor, error) {
+	return func() (predictor.Predictor, error) {
+		return predictor.NewLVP(predictor.LVPConfig{Confidence: confidence, Scheme: predictor.ByPC, Entries: 1024})
+	}
+}
+
+// LVPByAddr returns an LVP factory indexed by data address, which the
+// rolled pointer chase needs (one entry per node).
+func LVPByAddr(confidence int) func() (predictor.Predictor, error) {
+	return func() (predictor.Predictor, error) {
+		return predictor.NewLVP(predictor.LVPConfig{Confidence: confidence, Scheme: predictor.ByDataAddr, Entries: 4096})
+	}
+}
+
+// RTypeCostPoint is one window size's performance measurement.
+type RTypeCostPoint struct {
+	Window  int
+	Speedup float64 // over the no-VP baseline
+}
+
+// RTypeCost sweeps R-type window sizes over a kernel: a window of S
+// keeps only 1/S of predictions correct, so the value-prediction
+// speedup decays toward (and below) 1 — the performance cost Sec. VI-B
+// weighs against security.
+func RTypeCost(prog *isa.Program, confidence int, windows []int, seed int64) ([]RTypeCostPoint, error) {
+	base, err := MeasureIPC(prog, nil, seed)
+	if err != nil {
+		return nil, err
+	}
+	var out []RTypeCostPoint
+	for _, w := range windows {
+		lvp, err := predictor.NewLVP(predictor.LVPConfig{Confidence: confidence, Scheme: predictor.ByDataAddr, Entries: 4096})
+		if err != nil {
+			return nil, err
+		}
+		var pred predictor.Predictor = lvp
+		if w > 1 {
+			pred = predictor.NewRType(lvp, w, rand.New(rand.NewSource(seed+int64(w))))
+		}
+		vp, err := MeasureIPC(prog, pred, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RTypeCostPoint{Window: w, Speedup: float64(base.Cycles) / float64(vp.Cycles)})
+	}
+	return out, nil
+}
+
+// HashProbe builds a pointer-free random-probe kernel: `probes` loads
+// at pseudo-randomly striding table slots, each visited once. There is
+// no value locality to learn — the canonical workload where value
+// prediction buys nothing.
+func HashProbe(slots, probes int) (*isa.Program, error) {
+	if slots < 2 || slots&(slots-1) != 0 {
+		return nil, fmt.Errorf("workload: slots must be a power of two >= 2")
+	}
+	if probes < 1 {
+		return nil, fmt.Errorf("workload: probes must be positive")
+	}
+	b := isa.NewBuilder(fmt.Sprintf("hashprobe-s%d-p%d", slots, probes))
+	rng := rand.New(rand.NewSource(int64(slots)*31 + int64(probes)))
+	for i := 0; i < slots; i++ {
+		b.Word(nodeBase+uint64(i)*nodeStride, rng.Uint64())
+	}
+	b.MovI(isa.R1, nodeBase)
+	b.MovI(isa.R2, 12345) // xorshift state
+	b.MovI(isa.R3, 0)
+	b.MovI(isa.R4, int64(probes))
+	b.MovI(isa.R5, int64(slots-1))
+	b.Label("probe")
+	// xorshift step
+	b.ShlI(isa.R6, isa.R2, 13)
+	b.Xor(isa.R2, isa.R2, isa.R6)
+	b.ShrI(isa.R6, isa.R2, 7)
+	b.Xor(isa.R2, isa.R2, isa.R6)
+	// slot = state & (slots-1); addr = base + slot*64
+	b.And(isa.R7, isa.R2, isa.R5)
+	b.ShlI(isa.R7, isa.R7, 6)
+	b.Add(isa.R7, isa.R1, isa.R7)
+	b.Load(isa.R8, isa.R7, 0)
+	b.Add(isa.R9, isa.R9, isa.R8) // consume the value
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Blt(isa.R3, isa.R4, "probe")
+	b.MovI(isa.R10, scratch)
+	b.Store(isa.R10, 0, isa.R9)
+	b.Halt()
+	return b.Build()
+}
+
+// StreamSum builds a sequential array reduction: independent streaming
+// loads the out-of-order core already overlaps, so value prediction is
+// neutral here too.
+func StreamSum(words int) (*isa.Program, error) {
+	if words < 1 {
+		return nil, fmt.Errorf("workload: words must be positive")
+	}
+	b := isa.NewBuilder(fmt.Sprintf("streamsum-%d", words))
+	rng := rand.New(rand.NewSource(int64(words)))
+	for i := 0; i < words; i++ {
+		b.Word(nodeBase+uint64(i)*8, rng.Uint64()%1000)
+	}
+	b.MovI(isa.R1, nodeBase)
+	b.MovI(isa.R3, 0)
+	b.MovI(isa.R4, int64(words))
+	b.Label("loop")
+	b.Load(isa.R5, isa.R1, 0)
+	b.Add(isa.R6, isa.R6, isa.R5)
+	b.AddI(isa.R1, isa.R1, 8)
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Blt(isa.R3, isa.R4, "loop")
+	b.MovI(isa.R10, scratch)
+	b.Store(isa.R10, 0, isa.R6)
+	b.Halt()
+	return b.Build()
+}
+
+// DTypeCost measures the D-type defense's performance impact on a
+// kernel: delayed side effects only penalize squashed speculative
+// loads (committed loads still install at commit), so the cost is
+// small for well-predicted code — the reason the paper pairs D-type
+// with the cheaper A/R-type rather than replacing them.
+func DTypeCost(prog *isa.Program, confidence int, seed int64) (baseline, dtype Measurement, err error) {
+	lvp, err := predictor.NewLVP(predictor.LVPConfig{Confidence: confidence, Scheme: predictor.ByDataAddr, Entries: 4096})
+	if err != nil {
+		return Measurement{}, Measurement{}, err
+	}
+	baseline, err = MeasureIPC(prog, lvp, seed)
+	if err != nil {
+		return Measurement{}, Measurement{}, err
+	}
+	lvp2, err := predictor.NewLVP(predictor.LVPConfig{Confidence: confidence, Scheme: predictor.ByDataAddr, Entries: 4096})
+	if err != nil {
+		return Measurement{}, Measurement{}, err
+	}
+	m, err := cpu.NewMachine(cpu.Config{DelaySideEffects: true}, SmallHierarchy(), lvp2, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return Measurement{}, Measurement{}, err
+	}
+	proc, err := m.NewProcess(1, prog, 0)
+	if err != nil {
+		return Measurement{}, Measurement{}, err
+	}
+	res, err := m.Run(proc)
+	if err != nil {
+		return Measurement{}, Measurement{}, err
+	}
+	dtype = Measurement{
+		Name: prog.Name, Cycles: res.Cycles, Retired: res.Retired,
+		IPC: res.IPC(), Correct: res.VerifyCorrect, Wrong: res.VerifyWrong,
+	}
+	return baseline, dtype, nil
+}

@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"testing"
+
+	"vpsec/internal/isa"
+)
+
+func TestPointerChaseValidation(t *testing.T) {
+	if _, err := PointerChase(1, 1, false); err == nil {
+		t.Error("single node should fail")
+	}
+	if _, err := PointerChase(4, 0, false); err == nil {
+		t.Error("zero laps should fail")
+	}
+	if _, err := PointerChase(1024, 1, true); err == nil {
+		t.Error("oversized unroll should fail")
+	}
+}
+
+func TestPointerChaseTraversesRing(t *testing.T) {
+	// 5 nodes, 3 laps: the cursor ends where it started.
+	prog, err := PointerChase(5, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := isa.NewInterp(prog)
+	if _, err := it.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if got := it.Mem[scratch]; got != nodeBase {
+		t.Errorf("final cursor %#x, want %#x", got, uint64(nodeBase))
+	}
+	// Unrolled variant computes the same traversal.
+	up, err := PointerChase(5, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it2 := isa.NewInterp(up)
+	if _, err := it2.Run(up); err != nil {
+		t.Fatal(err)
+	}
+	if it2.Mem[scratch] != it.Mem[scratch] {
+		t.Error("rolled and unrolled traversals disagree")
+	}
+}
+
+func TestALUMix(t *testing.T) {
+	if _, err := ALUMix(0); err == nil {
+		t.Error("zero iters should fail")
+	}
+	prog, err := ALUMix(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := isa.NewInterp(prog)
+	if _, err := it.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if it.Mem[scratch] == 0 {
+		t.Error("ALU mix left no result")
+	}
+}
+
+// TestValuePredictionSpeedsUpPointerChase is the performance claim:
+// the predictor breaks the serialized miss chain.
+func TestValuePredictionSpeedsUpPointerChase(t *testing.T) {
+	prog, err := PointerChase(64, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Speedup(prog, LVPByAddr(2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup < 1.2 {
+		t.Errorf("addr-indexed LVP speedup = %.2fx on rolled chase, want > 1.2x", res.Speedup)
+	}
+	if res.VP.Correct == 0 {
+		t.Error("no correct predictions recorded")
+	}
+	// The same rolled kernel gains nothing from a PC-indexed LVP: the
+	// single load PC sees a different pointer every hop.
+	resPC, err := Speedup(prog, LVPByPC(2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resPC.Speedup > 1.05 {
+		t.Errorf("PC-indexed LVP speedup = %.2fx on rolled chase, expected ~1x", resPC.Speedup)
+	}
+	// The unrolled kernel restores the win for PC indexing.
+	uprog, err := PointerChase(64, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resU, err := Speedup(uprog, LVPByPC(2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resU.Speedup < 1.2 {
+		t.Errorf("PC-indexed LVP speedup = %.2fx on unrolled chase, want > 1.2x", resU.Speedup)
+	}
+}
+
+// TestVPNeutralOnALUMix: compute-bound code is unaffected.
+func TestVPNeutralOnALUMix(t *testing.T) {
+	prog, err := ALUMix(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Speedup(prog, LVPByPC(2), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup < 0.95 || res.Speedup > 1.05 {
+		t.Errorf("ALU-mix speedup = %.2fx, want ~1x", res.Speedup)
+	}
+}
+
+// TestRTypeCostDecays reproduces the Sec. VI-B performance trade-off:
+// growing the R-type window destroys the value-prediction speedup
+// (P(correct) = 1/S) and large windows add misprediction squashes.
+func TestRTypeCostDecays(t *testing.T) {
+	prog, err := PointerChase(64, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := RTypeCost(prog, 2, []int{1, 3, 9}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if !(pts[0].Speedup > pts[1].Speedup && pts[1].Speedup > pts[2].Speedup) {
+		t.Errorf("R-type cost not decreasing: %+v", pts)
+	}
+	if pts[0].Speedup < 1.2 {
+		t.Errorf("undefended speedup %.2fx too small for the sweep to mean anything", pts[0].Speedup)
+	}
+}
+
+func TestMeasureIPCBasics(t *testing.T) {
+	prog, err := ALUMix(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MeasureIPC(prog, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles == 0 || m.Retired == 0 || m.IPC <= 0 {
+		t.Errorf("degenerate measurement: %+v", m)
+	}
+	if m.Name != prog.Name {
+		t.Error("name not propagated")
+	}
+}
+
+func TestHashProbeValidation(t *testing.T) {
+	if _, err := HashProbe(3, 10); err == nil {
+		t.Error("non-power-of-two slots should fail")
+	}
+	if _, err := HashProbe(8, 0); err == nil {
+		t.Error("zero probes should fail")
+	}
+	if _, err := StreamSum(0); err == nil {
+		t.Error("zero words should fail")
+	}
+}
+
+// TestVPNeutralOnUnpredictableKernels: random probing and streaming
+// have no value locality; the predictor must neither help nor hurt
+// much (mispredictions could hurt, but confidence gating prevents
+// predictions from forming at all).
+func TestVPNeutralOnUnpredictableKernels(t *testing.T) {
+	hp, err := HashProbe(64, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Speedup(hp, LVPByAddr(2), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Speedup < 0.9 || r.Speedup > 1.15 {
+		t.Errorf("hash-probe speedup = %.2fx, want ~1x", r.Speedup)
+	}
+
+	ss, err := StreamSum(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Speedup(ss, LVPByPC(2), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Speedup < 0.9 || r2.Speedup > 1.15 {
+		t.Errorf("stream-sum speedup = %.2fx, want ~1x", r2.Speedup)
+	}
+	// Both kernels compute correct results.
+	it := isa.NewInterp(hp)
+	if _, err := it.Run(hp); err != nil {
+		t.Fatal(err)
+	}
+	if it.Mem[scratch] == 0 {
+		t.Error("hash probe produced no sum")
+	}
+}
+
+// TestDTypeCostIsModest: the D-type defense (install at commit) costs
+// little on well-predicted code, because only squashed speculative
+// loads lose their fills.
+func TestDTypeCostIsModest(t *testing.T) {
+	prog, err := PointerChase(64, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, dt, err := DTypeCost(prog, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.Correct == 0 {
+		t.Fatal("D-type run made no predictions; probe broken")
+	}
+	slowdown := float64(dt.Cycles) / float64(base.Cycles)
+	if slowdown > 1.25 {
+		t.Errorf("D-type slowdown %.2fx on predicted code, expected modest", slowdown)
+	}
+	if slowdown < 0.95 {
+		t.Errorf("D-type should not speed things up: %.2fx", slowdown)
+	}
+}
