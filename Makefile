@@ -1,0 +1,30 @@
+# Developer entry points. `make check` is the gate a change must pass;
+# `make bench-metrics` regenerates BENCH_metrics.json, the tracked
+# record of the metrics registry's hot-loop overhead (< 5% budget).
+
+GO ?= go
+
+.PHONY: check build test vet race bench bench-metrics
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$
+
+# Compare the simulator hot loop with and without an attached metrics
+# registry and write the overhead record. benchtime=5x keeps the noise
+# below the effect; bump it locally if the two runs look unstable.
+bench-metrics:
+	$(GO) run ./tools/benchmetrics -benchtime 5x -count 3 -o BENCH_metrics.json

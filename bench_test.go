@@ -18,6 +18,7 @@ import (
 	"vpsec/internal/defense"
 	"vpsec/internal/isa"
 	"vpsec/internal/locality"
+	"vpsec/internal/metrics"
 	"vpsec/internal/predictor"
 	"vpsec/internal/rsa"
 	"vpsec/internal/stats"
@@ -244,6 +245,41 @@ func BenchmarkSimulator(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "sim_cycles/op")
+}
+
+// BenchmarkSimulatorMetrics is BenchmarkSimulator with a metrics
+// registry attached — the same RSA-victim hot loop, now paying the
+// per-cycle ROB-occupancy observation, the per-access latency
+// observation and the end-of-run counter publishes. The delta of its
+// time/op against BenchmarkSimulator is the registry's overhead
+// (tracked in BENCH_metrics.json; the budget is 5%).
+func BenchmarkSimulatorMetrics(b *testing.B) {
+	cfg := rsa.VictimConfig{Base: 3, Mod: 1000003, Exponent: 0xA5A5, ExpBits: 16}
+	prog, err := rsa.BuildVictim(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := cpu.NewMachine(cpu.Config{}, nil, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.AttachMetrics(reg)
+		proc, err := m.NewProcess(1, prog, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := m.Run(proc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.FinalizeMetrics()
 		cycles += res.Cycles
 	}
 	b.ReportMetric(float64(cycles)/float64(b.N), "sim_cycles/op")

@@ -13,9 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"time"
 
 	"vpsec/internal/attacks"
 	"vpsec/internal/core"
+	"vpsec/internal/metrics"
 	"vpsec/internal/stats"
 )
 
@@ -42,6 +45,9 @@ func main() {
 		noiseSweep = flag.Bool("noise-sweep", false, "sweep memory-latency jitter for the chosen attack")
 		confSweep  = flag.Bool("conf-sweep", false, "sweep VPS confidence thresholds for the chosen attack")
 		trainIters = flag.Int("train-iters", 0, "training accesses per trial (0: the confidence number)")
+
+		metricsPath  = flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
+		manifestPath = flag.String("manifest", "", "write a run manifest (config, seed, metrics) to this file")
 	)
 	flag.Parse()
 
@@ -64,11 +70,48 @@ func main() {
 		},
 	}
 
+	var reg *metrics.Registry
+	if *metricsPath != "" || *manifestPath != "" {
+		reg = metrics.NewRegistry()
+		opt.Metrics = reg
+	}
+	start := time.Now()
+	// writeObservability emits the metrics snapshot and manifest on the
+	// way out of every successful code path; ttraj is the per-case Welch
+	// t trajectory when the path produced a single CaseResult.
+	writeObservability := func(ttraj []float64) {
+		if reg == nil {
+			return
+		}
+		if *metricsPath != "" {
+			if err := metrics.WriteFile(reg, *metricsPath, "json"); err != nil {
+				fmt.Fprintln(os.Stderr, "vpattack:", err)
+				os.Exit(1)
+			}
+		}
+		if *manifestPath != "" {
+			man := metrics.NewManifest("vpattack", *seed)
+			man.Predictor = *predKind
+			man.Config["attack"] = *attackName
+			man.Config["variant"] = *variant
+			man.Config["channel"] = *channel
+			man.Config["runs"] = strconv.Itoa(*runs)
+			man.Config["confidence"] = strconv.Itoa(*conf)
+			man.TTrajectory = ttraj
+			man.Finish(reg, start)
+			if err := man.WriteFile(*manifestPath); err != nil {
+				fmt.Fprintln(os.Stderr, "vpattack:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
 	if *table3 {
 		if err := printTableIII(opt); err != nil {
 			fmt.Fprintln(os.Stderr, "vpattack:", err)
 			os.Exit(1)
 		}
+		writeObservability(nil)
 		return
 	}
 
@@ -80,6 +123,7 @@ func main() {
 			os.Exit(1)
 		}
 		printCase(res)
+		writeObservability(res.TTrajectory)
 		return
 	}
 
@@ -96,6 +140,7 @@ func main() {
 		}
 		fmt.Printf("pattern   : %s\n", v.Pattern)
 		printCase(res)
+		writeObservability(res.TTrajectory)
 		return
 	}
 
@@ -130,6 +175,7 @@ func main() {
 		for _, p := range pts {
 			fmt.Printf("%10d  %8.4f  %7.1f%%\n", p.MemJitter, p.P, p.Success*100)
 		}
+		writeObservability(nil)
 		return
 	}
 	if *confSweep {
@@ -143,6 +189,7 @@ func main() {
 		for _, p := range pts {
 			fmt.Printf("%10d  %8.4f  %7.2f Kbps\n", p.Confidence, p.P, p.RateBps/1000)
 		}
+		writeObservability(nil)
 		return
 	}
 	res, err := attacks.Run(cat, opt)
@@ -151,6 +198,7 @@ func main() {
 		os.Exit(1)
 	}
 	printCase(res)
+	writeObservability(res.TTrajectory)
 }
 
 func findCategory(name string) (core.Category, error) {

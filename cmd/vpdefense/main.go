@@ -11,10 +11,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"time"
 
 	"vpsec/internal/attacks"
 	"vpsec/internal/core"
 	"vpsec/internal/defense"
+	"vpsec/internal/metrics"
 )
 
 func main() {
@@ -25,6 +28,9 @@ func main() {
 		maxWindow  = flag.Int("maxwindow", 10, "largest R-type window to sweep")
 		runs       = flag.Int("runs", 60, "trials per case")
 		seed       = flag.Int64("seed", 1, "base RNG seed")
+
+		metricsPath  = flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
+		manifestPath = flag.String("manifest", "", "write a run manifest (config, seed, metrics) to this file")
 	)
 	flag.Parse()
 	if !*doSweep && !*doMatrix {
@@ -32,6 +38,12 @@ func main() {
 	}
 
 	base := attacks.Options{Channel: core.TimingWindow, Runs: *runs, Seed: *seed}
+	var reg *metrics.Registry
+	if *metricsPath != "" || *manifestPath != "" {
+		reg = metrics.NewRegistry()
+		base.Metrics = reg
+	}
+	start := time.Now()
 
 	if *doSweep {
 		cats := []core.Category{core.TrainTest, core.TestHit}
@@ -90,6 +102,27 @@ func main() {
 			fmt.Println("Combined A+R+D defends every attack (Sec. VI-B claim holds).")
 		} else {
 			fmt.Println("WARNING: combined A+R+D left an attack effective.")
+		}
+	}
+
+	if reg != nil {
+		if *metricsPath != "" {
+			if err := metrics.WriteFile(reg, *metricsPath, "json"); err != nil {
+				fmt.Fprintln(os.Stderr, "vpdefense:", err)
+				os.Exit(1)
+			}
+		}
+		if *manifestPath != "" {
+			man := metrics.NewManifest("vpdefense", *seed)
+			man.Config["sweep"] = strconv.FormatBool(*doSweep)
+			man.Config["matrix"] = strconv.FormatBool(*doMatrix)
+			man.Config["maxwindow"] = strconv.Itoa(*maxWindow)
+			man.Config["runs"] = strconv.Itoa(*runs)
+			man.Finish(reg, start)
+			if err := man.WriteFile(*manifestPath); err != nil {
+				fmt.Fprintln(os.Stderr, "vpdefense:", err)
+				os.Exit(1)
+			}
 		}
 	}
 }

@@ -11,9 +11,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"time"
 
 	"vpsec/internal/attacks"
 	"vpsec/internal/core"
+	"vpsec/internal/metrics"
 	"vpsec/internal/rsa"
 	"vpsec/internal/stats"
 )
@@ -25,15 +28,24 @@ func main() {
 		seed = flag.Int64("seed", 1, "RNG seed")
 		csv  = flag.Bool("csv", false, "emit CSV series instead of ASCII plots")
 		svg  = flag.String("svg", "", "write SVG panels to files with this prefix (e.g. -svg fig5)")
+
+		metricsPath  = flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
+		manifestPath = flag.String("manifest", "", "write a run manifest (config, seed, metrics) to this file")
 	)
 	flag.Parse()
+
+	var reg *metrics.Registry
+	if *metricsPath != "" || *manifestPath != "" {
+		reg = metrics.NewRegistry()
+	}
+	start := time.Now()
 
 	var err error
 	switch *fig {
 	case 5:
-		err = distributionFigure(core.TrainTest, *runs, *seed, *csv, *svg)
+		err = distributionFigure(core.TrainTest, *runs, *seed, *csv, *svg, reg)
 	case 8:
-		err = distributionFigure(core.TestHit, *runs, *seed, *csv, *svg)
+		err = distributionFigure(core.TestHit, *runs, *seed, *csv, *svg, reg)
 	case 7:
 		err = rsaFigure(*seed, *csv, *svg)
 	default:
@@ -43,11 +55,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vpfigures:", err)
 		os.Exit(1)
 	}
+	if reg != nil {
+		if *metricsPath != "" {
+			if err := metrics.WriteFile(reg, *metricsPath, "json"); err != nil {
+				fmt.Fprintln(os.Stderr, "vpfigures:", err)
+				os.Exit(1)
+			}
+		}
+		if *manifestPath != "" {
+			man := metrics.NewManifest("vpfigures", *seed)
+			man.Config["fig"] = strconv.Itoa(*fig)
+			man.Config["runs"] = strconv.Itoa(*runs)
+			man.Finish(reg, start)
+			if err := man.WriteFile(*manifestPath); err != nil {
+				fmt.Fprintln(os.Stderr, "vpfigures:", err)
+				os.Exit(1)
+			}
+		}
+	}
 }
 
 // distributionFigure renders the four panels of Fig. 5 (Train+Test) or
 // Fig. 8 (Test+Hit): {timing-window, persistent} × {no VP, LVP}.
-func distributionFigure(cat core.Category, runs int, seed int64, csv bool, svgPrefix string) error {
+func distributionFigure(cat core.Category, runs int, seed int64, csv bool, svgPrefix string, reg *metrics.Registry) error {
 	figName := "Fig. 5 (Train + Test)"
 	labels := []string{"mapped index", "unmapped index"}
 	if cat == core.TestHit {
@@ -59,7 +89,7 @@ func distributionFigure(cat core.Category, runs int, seed int64, csv bool, svgPr
 	for _, ch := range []core.Channel{core.TimingWindow, core.Persistent} {
 		for _, pk := range []attacks.PredictorKind{attacks.NoVP, attacks.LVP} {
 			r, err := attacks.Run(cat, attacks.Options{
-				Predictor: pk, Channel: ch, Runs: runs, Seed: seed,
+				Predictor: pk, Channel: ch, Runs: runs, Seed: seed, Metrics: reg,
 			})
 			if err != nil {
 				return err

@@ -17,10 +17,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"time"
 
 	"vpsec/internal/asm"
 	"vpsec/internal/isa"
 	"vpsec/internal/locality"
+	"vpsec/internal/metrics"
 	"vpsec/internal/rsa"
 )
 
@@ -33,9 +36,13 @@ func main() {
 		order = flag.Int("order", 1,
 			"context-family history depth (order-k FCM)")
 		asJSON = flag.Bool("json", false, "emit the report as JSON")
+
+		metricsPath  = flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
+		manifestPath = flag.String("manifest", "", "write a run manifest (config, metrics) to this file")
 	)
 	flag.Parse()
 
+	start := time.Now()
 	prog, err := loadProgram(*rsaDemo)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vplocality:", err)
@@ -45,6 +52,28 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vplocality:", err)
 		os.Exit(1)
+	}
+	if *metricsPath != "" || *manifestPath != "" {
+		reg := metrics.NewRegistry()
+		publishAudit(reg, r, *threshold)
+		if *metricsPath != "" {
+			if err := metrics.WriteFile(reg, *metricsPath, "json"); err != nil {
+				fmt.Fprintln(os.Stderr, "vplocality:", err)
+				os.Exit(1)
+			}
+		}
+		if *manifestPath != "" {
+			man := metrics.NewManifest("vplocality", 0)
+			man.Program = prog.Name
+			man.Config["threshold"] = strconv.FormatFloat(*threshold, 'g', -1, 64)
+			man.Config["order"] = strconv.Itoa(*order)
+			man.SimCycles = r.Steps
+			man.Finish(reg, start)
+			if err := man.WriteFile(*manifestPath); err != nil {
+				fmt.Fprintln(os.Stderr, "vplocality:", err)
+				os.Exit(1)
+			}
+		}
 	}
 	if *asJSON {
 		out, err := json.MarshalIndent(r, "", "  ")
@@ -72,6 +101,40 @@ func main() {
 			fmt.Printf("  pc %4d: %s (%d execs)\n", l.PC, l.Best(*threshold), l.Count)
 		}
 	}
+}
+
+// publishAudit maps the locality report onto the metrics registry: how
+// big the program's load population is, how much of it clears the
+// threshold (the attack surface), and the per-family hit-rate
+// distributions across static loads.
+func publishAudit(reg *metrics.Registry, r *locality.Report, threshold float64) {
+	rateBounds := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1}
+	reg.Counter("locality.steps", "retired instructions during the audit").Add(r.Steps)
+	static := reg.Counter("locality.loads.static", "static loads profiled")
+	dynamic := reg.Counter("locality.loads.dynamic", "dynamic load executions profiled")
+	predictable := reg.Counter("locality.loads.predictable",
+		"static loads with some family at or above the threshold (the attack surface)")
+	fams := []struct {
+		name string
+		rate func(locality.PCStats) float64
+	}{
+		{"last_value", func(s locality.PCStats) float64 { return s.LastValue }},
+		{"stride", func(s locality.PCStats) float64 { return s.Stride }},
+		{"context", func(s locality.PCStats) float64 { return s.Context }},
+		{"addr_last_value", func(s locality.PCStats) float64 { return s.AddrLastValue }},
+	}
+	for _, l := range r.Loads {
+		static.Inc()
+		dynamic.Add(uint64(l.Count))
+		if l.Predictable(threshold) {
+			predictable.Inc()
+		}
+		for _, f := range fams {
+			reg.Histogram("locality.hit_rate."+f.name,
+				"per-static-load "+f.name+" hit rate", rateBounds).Observe(f.rate(l))
+		}
+	}
+	reg.Gauge("locality.threshold", "predictability threshold the audit used").Set(threshold)
 }
 
 func loadProgram(rsaDemo bool) (*isa.Program, error) {

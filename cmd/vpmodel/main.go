@@ -7,15 +7,23 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sort"
+	"strconv"
+	"strings"
+	"time"
 
 	"vpsec/internal/core"
+	"vpsec/internal/metrics"
 )
 
 func main() {
 	table := flag.Int("table", 0, "print only one table: 1 (actions) or 2 (variants); 0 prints everything")
+	metricsPath := flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
+	manifestPath := flag.String("manifest", "", "write a run manifest (config, metrics) to this file")
 	flag.Parse()
 
+	start := time.Now()
 	if *table == 0 || *table == 1 {
 		printTableI()
 	}
@@ -25,6 +33,58 @@ func main() {
 	if *table == 0 {
 		printRules()
 		printTaxonomy()
+	}
+
+	if *metricsPath != "" || *manifestPath != "" {
+		reg := metrics.NewRegistry()
+		publishModel(reg)
+		if *metricsPath != "" {
+			if err := metrics.WriteFile(reg, *metricsPath, "json"); err != nil {
+				fmt.Fprintln(os.Stderr, "vpmodel:", err)
+				os.Exit(1)
+			}
+		}
+		if *manifestPath != "" {
+			man := metrics.NewManifest("vpmodel", 0)
+			man.Config["table"] = strconv.Itoa(*table)
+			man.Finish(reg, start)
+			if err := man.WriteFile(*manifestPath); err != nil {
+				fmt.Fprintln(os.Stderr, "vpmodel:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// ruleScope turns a reduction-rule name ("train before trigger") into a
+// metrics scope segment.
+func ruleScope(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+// publishModel records the Table II reduction accounting as counters:
+// the candidate-pattern population, the effective variants, and the
+// per-rule rejection counts.
+func publishModel(reg *metrics.Registry) {
+	reg.Counter("model.patterns.total", "candidate attack patterns enumerated").
+		Add(uint64(len(core.AllPatterns())))
+	reg.Counter("model.variants.effective", "effective attack variants surviving reduction (Table II)").
+		Add(uint64(len(core.Reduce())))
+	reg.Counter("model.categories", "attack categories").
+		Add(uint64(len(core.Categories())))
+	hist := core.RejectionHistogram()
+	for _, r := range core.Rules() {
+		reg.Counter("model.rejected."+ruleScope(r.Name), "patterns rejected by rule: "+r.Name).
+			Add(uint64(hist[r.Name]))
 	}
 }
 

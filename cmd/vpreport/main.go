@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"vpsec/internal/attacks"
+	"vpsec/internal/metrics"
 	"vpsec/internal/report"
 )
 
@@ -24,6 +25,9 @@ func main() {
 		quick   = flag.Bool("quick", false, "skip the defense sweeps and matrix")
 		asJSON  = flag.Bool("json", false, "emit JSON instead of Markdown")
 		outFile = flag.String("o", "", "write to a file instead of stdout")
+
+		metricsPath  = flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
+		manifestPath = flag.String("manifest", "", "write a run manifest (config, seed, metrics) to this file")
 	)
 	flag.Parse()
 
@@ -34,10 +38,34 @@ func main() {
 		Predictor:   attacks.PredictorKind(*pred),
 		Quick:       *quick,
 	}
-	r, err := report.Generate(cfg, time.Now())
+	var reg *metrics.Registry
+	if *metricsPath != "" || *manifestPath != "" {
+		reg = metrics.NewRegistry()
+		cfg.Metrics = reg
+	}
+	start := time.Now()
+	r, err := report.Generate(cfg, start)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vpreport:", err)
 		os.Exit(1)
+	}
+	if *metricsPath != "" {
+		if err := metrics.WriteFile(reg, *metricsPath, "json"); err != nil {
+			fmt.Fprintln(os.Stderr, "vpreport:", err)
+			os.Exit(1)
+		}
+	}
+	if *manifestPath != "" {
+		man := metrics.NewManifest("vpreport", *seed)
+		man.Predictor = *pred
+		man.Config["runs"] = fmt.Sprint(*runs)
+		man.Config["defense-runs"] = fmt.Sprint(*defRuns)
+		man.Config["quick"] = fmt.Sprint(*quick)
+		man.Finish(reg, start)
+		if err := man.WriteFile(*manifestPath); err != nil {
+			fmt.Fprintln(os.Stderr, "vpreport:", err)
+			os.Exit(1)
+		}
 	}
 
 	var out []byte

@@ -12,10 +12,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"time"
 
 	"vpsec/internal/asm"
 	"vpsec/internal/cpu"
 	"vpsec/internal/isa"
+	"vpsec/internal/metrics"
 	"vpsec/internal/predictor"
 	"vpsec/internal/trace"
 	"vpsec/internal/workload"
@@ -33,6 +36,10 @@ func main() {
 		dump      = flag.Bool("dump", false, "print the assembled program back as .vasm and exit")
 		pipeview  = flag.Int("pipeview", 0, "render a pipeline diagram of the first N dynamic instructions")
 		kanata    = flag.String("kanata", "", "write a Kanata pipeline trace to this file")
+
+		metricsPath  = flag.String("metrics", "", "write a metrics snapshot to this file")
+		metricsFmt   = flag.String("metrics-format", "json", "metrics export format: json or prom")
+		manifestPath = flag.String("manifest", "", "write a run manifest (config, seed, metrics) to this file")
 	)
 	flag.Parse()
 
@@ -77,6 +84,12 @@ func main() {
 	if *pipeview > 0 || *kanata != "" {
 		m.Tracer = trace.NewRecorder(0)
 	}
+	var reg *metrics.Registry
+	if *metricsPath != "" || *manifestPath != "" {
+		reg = metrics.NewRegistry()
+		m.AttachMetrics(reg)
+	}
+	start := time.Now()
 	proc, err := m.NewProcess(1, prog, 0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vpsim:", err)
@@ -86,6 +99,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vpsim:", err)
 		os.Exit(1)
+	}
+	if reg != nil {
+		m.FinalizeMetrics()
 	}
 
 	fmt.Printf("program   : %s (%d instructions)\n", prog.Name, len(prog.Code))
@@ -122,6 +138,27 @@ func main() {
 				fmt.Printf("  r%-2d = %#x (%d)\n", r, res.Regs[r], res.Regs[r])
 			}
 		}
+	}
+	if *metricsPath != "" {
+		if err := metrics.WriteFile(reg, *metricsPath, *metricsFmt); err != nil {
+			fmt.Fprintln(os.Stderr, "vpsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics   : wrote %s (%s)\n", *metricsPath, *metricsFmt)
+	}
+	if *manifestPath != "" {
+		man := metrics.NewManifest("vpsim", *seed)
+		man.Program = prog.Name
+		man.Predictor = *predKind
+		man.Config["confidence"] = strconv.Itoa(*conf)
+		man.Config["scheme"] = *scheme
+		man.SimCycles = res.Cycles
+		man.Finish(reg, start)
+		if err := man.WriteFile(*manifestPath); err != nil {
+			fmt.Fprintln(os.Stderr, "vpsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("manifest  : wrote %s\n", *manifestPath)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"vpsec/internal/core"
 	"vpsec/internal/cpu"
 	"vpsec/internal/mem"
+	"vpsec/internal/metrics"
 	"vpsec/internal/predictor"
 )
 
@@ -95,6 +96,13 @@ type Options struct {
 	NoSyncCost bool    // report the raw per-trial rate instead
 
 	Noise cpu.Noise // zero value means the default jitter
+
+	// Metrics, when non-nil, receives every trial machine's pipeline,
+	// memory and predictor counters plus the per-trial observation
+	// histograms and end-of-case decision gauges (see
+	// internal/metrics). Excluded from JSON: a registry is shared
+	// infrastructure, not a result.
+	Metrics *metrics.Registry `json:"-"`
 }
 
 // Validate reports option errors that defaulting cannot repair.
@@ -268,6 +276,9 @@ func newEnv(opt *Options, seed int64) (*env, error) {
 		return nil, err
 	}
 	m.Noise = opt.Noise
+	if opt.Metrics != nil {
+		m.AttachMetrics(opt.Metrics)
+	}
 	train := opt.Confidence
 	if opt.TrainIters > 0 {
 		train = opt.TrainIters

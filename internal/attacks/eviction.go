@@ -148,11 +148,14 @@ func RunTrainTestEviction(opt Options) (CaseResult, error) {
 			} else {
 				res.Unmapped = append(res.Unmapped, obs)
 			}
+			e.recordTrial(mapped, obs, 0)
 		}
+		res.appendTrajectory()
 	}
 	if err := res.finalizeStats(); err != nil {
 		return res, err
 	}
+	res.publishCase(opt.Metrics)
 	return res, nil
 }
 

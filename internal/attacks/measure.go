@@ -36,6 +36,12 @@ type CaseResult struct {
 	// classifier labels correctly (the metric behind the RSA demo's
 	// 95.7%).
 	SuccessRate float64
+
+	// TTrajectory is the Welch t statistic recomputed after each
+	// mapped/unmapped trial pair — how fast the attack decision
+	// converges as evidence accumulates. The first pair is skipped
+	// (variance needs two samples per side).
+	TTrajectory []float64
 }
 
 // Effective reports whether the attack distinguishes the two cases at
@@ -75,7 +81,9 @@ func Run(cat core.Category, opt Options) (CaseResult, error) {
 			} else {
 				res.Unmapped = append(res.Unmapped, obs)
 			}
+			e.recordTrial(mapped, obs, cyc)
 		}
+		res.appendTrajectory()
 	}
 	t, err := stats.WelchTTest(res.Mapped, res.Unmapped)
 	if err != nil {
@@ -95,6 +103,7 @@ func Run(cat core.Category, opt Options) (CaseResult, error) {
 	}
 	res.RateBps = opt.ClockHz / den
 	res.SuccessRate = successRate(res.Mapped, res.Unmapped)
+	res.publishCase(opt.Metrics)
 	return res, nil
 }
 

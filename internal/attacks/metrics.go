@@ -1,0 +1,107 @@
+package attacks
+
+import (
+	"math"
+
+	"vpsec/internal/core"
+	"vpsec/internal/metrics"
+	"vpsec/internal/stats"
+)
+
+// trialCycleBounds buckets whole-trial simulated-cycle totals; a trial
+// is a few kernel runs, so a few thousand to a few tens of thousands
+// of cycles.
+var trialCycleBounds = []float64{1000, 2000, 4000, 8000, 16_000, 32_000, 64_000, 128_000, 256_000}
+
+// obsBounds buckets receiver observations. Timing-window and
+// persistent observations are trigger latencies (the paper's Figs. 5/8
+// plot 0-600 cycles); volatile observations are summed sampler windows
+// and land in the upper buckets.
+var obsBounds = []float64{50, 100, 150, 200, 250, 300, 350, 400, 500, 600, 800, 1200, 2000, 4000, 8000}
+
+// slugify lowercases s and collapses every non-alphanumeric run into a
+// single dash, so "Train + Test (eviction)" becomes
+// "train-test-eviction" — a valid registry scope segment.
+func slugify(s string) string {
+	out := make([]byte, 0, len(s))
+	dash := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			c += 'a' - 'A'
+			fallthrough
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			if dash && len(out) > 0 {
+				out = append(out, '-')
+			}
+			dash = false
+			out = append(out, c)
+		default:
+			dash = true
+		}
+	}
+	return string(out)
+}
+
+// caseScope names the registry scope of one (category, channel) cell.
+func caseScope(cat core.Category, ch core.Channel) string {
+	return "attacks." + slugify(string(cat)) + "." + slugify(ch.String())
+}
+
+// recordTrial publishes one completed trial into the registry: the
+// trial's simulated-cycle total, the observation into the mapped or
+// unmapped histogram, and the trial machine's end-of-life predictor
+// state (confidence distribution).
+func (e *env) recordTrial(mapped bool, obs float64, cyc uint64) {
+	reg := e.opt.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("attacks.trials", "attack trials executed").Inc()
+	if cyc > 0 {
+		reg.Histogram("attacks.trial.cycles", "simulated cycles per attack trial", trialCycleBounds).
+			Observe(float64(cyc))
+	}
+	which := "unmapped"
+	if mapped {
+		which = "mapped"
+	}
+	reg.Histogram("attacks.obs."+which, "receiver observations (cycles), "+which+" case", obsBounds).
+		Observe(obs)
+	e.m.FinalizeMetrics()
+}
+
+// appendTrajectory extends the running t-statistic trajectory with the
+// Welch t computed from the observations gathered so far. Called after
+// each mapped/unmapped trial pair; the first pair has too little data
+// for a variance and is skipped.
+func (r *CaseResult) appendTrajectory() {
+	if len(r.Mapped) < 2 || len(r.Unmapped) < 2 {
+		return
+	}
+	t, err := stats.WelchTTest(r.Mapped, r.Unmapped)
+	if err != nil || math.IsNaN(t.T) {
+		return
+	}
+	r.TTrajectory = append(r.TTrajectory, t.T)
+}
+
+// publishCase sets the end-of-case decision gauges
+// (attacks.<category>.<channel>.p_value / t_stat / success_rate /
+// rate_bps) in reg. No-op when reg is nil.
+func (r *CaseResult) publishCase(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	scope := caseScope(r.Category, r.Channel)
+	set := func(suffix, help string, v float64) {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			reg.Gauge(scope+"."+suffix, help).Set(v)
+		}
+	}
+	set("p_value", "Welch t-test p-value (p < 0.05 means effective)", r.P)
+	set("t_stat", "Welch t statistic", r.T.T)
+	set("success_rate", "midpoint-threshold classifier accuracy", r.SuccessRate)
+	set("rate_bps", "modeled transmission rate, bits/second", r.RateBps)
+}

@@ -240,7 +240,9 @@ func RunVolatileSMT(cat core.Category, opt Options) (CaseResult, error) {
 			} else {
 				res.Unmapped = append(res.Unmapped, obs)
 			}
+			e.recordTrial(mapped, obs, cyc)
 		}
+		res.appendTrajectory()
 	}
 	t, err := stats.WelchTTest(res.Mapped, res.Unmapped)
 	if err != nil {
@@ -260,5 +262,6 @@ func RunVolatileSMT(cat core.Category, opt Options) (CaseResult, error) {
 	}
 	res.RateBps = opt.ClockHz / den
 	res.SuccessRate = successRate(res.Mapped, res.Unmapped)
+	res.publishCase(opt.Metrics)
 	return res, nil
 }

@@ -37,6 +37,10 @@ type Machine struct {
 	// Tracer, when non-nil and enabled, records per-instruction
 	// pipeline events (see internal/trace and cmd/vpsim -pipeview).
 	Tracer *trace.Recorder
+
+	// metrics, when attached (AttachMetrics), streams ROB occupancy and
+	// publishes run/predictor/memory counters into a registry.
+	metrics *machineMetrics
 }
 
 // NewMachine assembles a machine; nil hier gets the default hierarchy,
@@ -75,6 +79,11 @@ func (m *Machine) NewProcess(pid uint64, prog *isa.Program, physBase uint64) (*P
 type RunResult struct {
 	Cycles  uint64 // wall cycles consumed by this run
 	Retired uint64 // committed instructions
+
+	Fetched  uint64 // instructions renamed into the ROB (wrong path included)
+	Issued   uint64 // instructions that began execution
+	Squashed uint64 // ROB entries dropped by full squashes
+	Replayed uint64 // entries re-executed by selective replay
 
 	Predictions   uint64 // value predictions made
 	VerifyCorrect uint64 // verified correct
@@ -117,6 +126,7 @@ func (m *Machine) Run(proc *Process) (RunResult, error) {
 		if done {
 			proc.Regs = st.regs
 			st.res.Regs = st.regs
+			m.publishRun(&st.res)
 			return st.res, nil
 		}
 		if st.res.Cycles >= m.Cfg.MaxCycles {

@@ -1,0 +1,169 @@
+package cpu
+
+import (
+	"sort"
+	"strings"
+
+	"vpsec/internal/metrics"
+	"vpsec/internal/predictor"
+)
+
+// robOccBounds buckets per-cycle ROB occupancy; the default ROB holds
+// 192 entries, so the top bucket separates "full" from "draining".
+var robOccBounds = []float64{0, 1, 2, 4, 8, 16, 32, 64, 96, 128, 160, 192}
+
+// confBounds buckets predictor confidence counters; thresholds in the
+// paper are small (default 4, saturation 8), larger values appear only
+// with widened MaxConf configs.
+var confBounds = []float64{0, 1, 2, 3, 4, 5, 6, 8, 12, 16, 32}
+
+// machineMetrics tracks the machine's registry handles plus the
+// last-published predictor stats, so repeated publishes add exact
+// deltas (the predictor is shared across runs on one machine, while
+// each RunResult is already a per-run delta).
+//
+// The per-cycle ROB-occupancy observation tallies into the local
+// occCounts array through a precomputed occupancy->bucket table and is
+// merged into the shared histogram at publish time, keeping the
+// per-cycle cost to an array increment.
+type machineMetrics struct {
+	reg      *metrics.Registry
+	robOcc   *metrics.Histogram
+	lastPred predictor.Stats
+
+	occLUT    []uint8  // occupancy -> bucket index
+	occCounts []uint64 // local per-bucket tallies; +Inf last
+	occSum    float64
+	occCount  uint64
+}
+
+// predScope lowercases a predictor's Name into a registry scope
+// segment: "lvp+A" -> "lvp_a", "stride-2d" -> "stride-2d".
+func predScope(name string) string {
+	name = strings.ToLower(name)
+	var b strings.Builder
+	for _, c := range name {
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_' || c == '-' {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// AttachMetrics connects the machine (and its memory hierarchy) to a
+// registry. Per-cycle ROB occupancy streams into a histogram as the
+// pipeline runs; everything else is published as counter deltas when
+// each Run completes, so many machines may share one registry.
+func (m *Machine) AttachMetrics(reg *metrics.Registry) {
+	mm := &machineMetrics{
+		reg:       reg,
+		robOcc:    reg.Histogram("cpu.rob.occupancy", "reorder-buffer entries live at the end of each cycle", robOccBounds),
+		occCounts: make([]uint64, len(robOccBounds)+1),
+	}
+	top := int(robOccBounds[len(robOccBounds)-1])
+	mm.occLUT = make([]uint8, top+1)
+	for n := 0; n <= top; n++ {
+		mm.occLUT[n] = uint8(sort.SearchFloat64s(robOccBounds, float64(n)))
+	}
+	m.metrics = mm
+	m.Hier.AttachMetrics(reg)
+}
+
+// observeOccupancy records one cycle's ROB occupancy (no-op without an
+// attached registry; with one, the cost is a table-lookup increment).
+func (m *Machine) observeOccupancy(n int) {
+	mm := m.metrics
+	if mm == nil {
+		return
+	}
+	if n < len(mm.occLUT) {
+		mm.occCounts[mm.occLUT[n]]++
+	} else {
+		mm.occCounts[len(mm.occCounts)-1]++
+	}
+	mm.occSum += float64(n)
+	mm.occCount++
+}
+
+// publishRun forwards one completed run's counters into the registry.
+// RunResult fields are per-run totals, so they are added directly; the
+// predictor's cumulative Stats are published as deltas since the last
+// publish on this machine.
+func (m *Machine) publishRun(res *RunResult) {
+	mm := m.metrics
+	if mm == nil {
+		return
+	}
+	if mm.occCount > 0 {
+		mm.robOcc.Merge(mm.occCounts, mm.occSum, mm.occCount)
+		clear(mm.occCounts)
+		mm.occSum, mm.occCount = 0, 0
+	}
+	reg := mm.reg
+	reg.Counter("cpu.cycles", "simulated cycles").Add(res.Cycles)
+	reg.Counter("cpu.fetch.instrs", "instructions renamed into the ROB (wrong path included)").Add(res.Fetched)
+	reg.Counter("cpu.issue.instrs", "instructions that began execution").Add(res.Issued)
+	reg.Counter("cpu.commit.retired", "instructions committed").Add(res.Retired)
+	reg.Counter("cpu.commit.squashes", "ROB entries dropped by full squashes").Add(res.Squashed)
+	reg.Counter("cpu.squash.value", "value-misprediction squash events").Add(res.VerifyWrong)
+	reg.Counter("cpu.squash.branch", "branch-misprediction refetch events").Add(res.BranchSquash)
+	reg.Counter("cpu.replay.instrs", "entries re-executed by selective replay").Add(res.Replayed)
+	reg.Counter("cpu.load.misses", "loads served beyond the L1").Add(res.LoadMisses)
+	reg.Counter("cpu.load.forwards", "store-to-load forwards").Add(res.Forwards)
+	reg.Counter("cpu.issue.port_conflicts", "ready instructions stalled on issue ports").Add(res.PortConflicts)
+	reg.Counter("cpu.vps.predictions", "value predictions forwarded").Add(res.Predictions)
+	reg.Counter("cpu.vps.no_predictions", "VPS consultations below confidence").Add(res.NoPredictions)
+	reg.Counter("cpu.vps.correct", "predictions verified correct").Add(res.VerifyCorrect)
+	reg.Counter("cpu.vps.wrong", "predictions verified wrong").Add(res.VerifyWrong)
+	if cycles := reg.Counter("cpu.cycles", "").Value(); cycles > 0 {
+		retired := reg.Counter("cpu.commit.retired", "").Value()
+		reg.Gauge("cpu.ipc", "retired instructions per cycle, from registry totals").Set(float64(retired) / float64(cycles))
+	}
+	m.Hier.PublishMetrics()
+	m.publishPredictor()
+}
+
+// publishPredictor adds the predictor's stat deltas and refreshes the
+// accuracy gauge.
+func (m *Machine) publishPredictor() {
+	mm := m.metrics
+	st := m.Pred.Stats()
+	last := &mm.lastPred
+	scope := "pred." + predScope(m.Pred.Name()) + "."
+	reg := mm.reg
+	reg.Counter(scope+"lookups", "Predict consultations").Add(st.Lookups - last.Lookups)
+	reg.Counter(scope+"predictions", "lookups that produced a value").Add(st.Predictions - last.Predictions)
+	reg.Counter(scope+"no_predictions", "lookups below the confidence threshold").Add(st.NoPredictions - last.NoPredictions)
+	reg.Counter(scope+"correct", "verified-correct predictions").Add(st.Correct - last.Correct)
+	reg.Counter(scope+"mispredicts", "verified-incorrect predictions").Add(st.Mispredicts - last.Mispredicts)
+	reg.Counter(scope+"evictions", "usefulness-based table evictions").Add(st.Evictions - last.Evictions)
+	*last = st
+	correct := reg.Counter(scope+"correct", "").Value()
+	wrong := reg.Counter(scope+"mispredicts", "").Value()
+	if v := correct + wrong; v > 0 {
+		reg.Gauge(scope+"accuracy", "correct / (correct + mispredicts), from registry totals").
+			Set(float64(correct) / float64(v))
+	}
+}
+
+// FinalizeMetrics records end-of-experiment snapshots that are not
+// deltas: the predictor's per-entry confidence-counter distribution
+// (pred.<name>.confidence). Call it once per machine, after the last
+// Run — each call appends the current distribution to the histogram.
+func (m *Machine) FinalizeMetrics() {
+	mm := m.metrics
+	if mm == nil {
+		return
+	}
+	cr, ok := m.Pred.(predictor.ConfidenceReporter)
+	if !ok {
+		return
+	}
+	h := mm.reg.Histogram("pred."+predScope(m.Pred.Name())+".confidence",
+		"per-entry confidence counters at finalize time", confBounds)
+	for _, c := range cr.ConfidenceCounts() {
+		h.Observe(float64(c))
+	}
+}

@@ -116,6 +116,7 @@ func (p *pipeline) step() (bool, error) {
 		return false, err
 	}
 	p.fetch(now)
+	p.m.observeOccupancy(len(p.rob))
 	p.m.Cycle++
 	p.res.Cycles++
 	return p.halted, nil
@@ -374,6 +375,7 @@ func (p *pipeline) issue(now uint64, budget *issueBudget) error {
 			e.finishAt = now + p.aluLatency(e.in.Op)
 		}
 		p.emit(trace.Issue, e, now, "")
+		p.res.Issued++
 		budget.ports--
 	}
 	return nil
@@ -581,6 +583,7 @@ func (p *pipeline) replayDependents(load *entry, idx int, now uint64) {
 			continue
 		}
 		affected[e] = true
+		p.res.Replayed++
 		if e.in.Op == isa.STORE && affected[e.src1.origProd] {
 			storeAddrHazard = true
 		}
@@ -624,6 +627,7 @@ func (p *pipeline) squashAfter(idx int, newPC int, stallUntil uint64) {
 			p.emit(trace.Squash, e, p.m.Cycle, "")
 		}
 	}
+	p.res.Squashed += uint64(len(p.rob) - idx - 1)
 	p.rob = p.rob[:idx+1]
 	for r := range p.rename {
 		p.rename[r] = nil
@@ -691,6 +695,7 @@ func (p *pipeline) fetch(now uint64) {
 		}
 		p.emit(trace.Fetch, e, now, in.String())
 		p.rob = append(p.rob, e)
+		p.res.Fetched++
 		if in.Op.WritesDst() && in.Dst != isa.R0 {
 			p.rename[in.Dst] = e
 		}

@@ -62,13 +62,30 @@ func (c CacheConfig) Validate() error {
 	return nil
 }
 
-// CacheStats counts cache events.
+// CacheStats counts cache events. Field names follow the metrics
+// registry scope convention (mem.<level>.hits, mem.<level>.misses, …)
+// so the same vocabulary appears in code, JSON dumps, and Prometheus
+// exports.
 type CacheStats struct {
 	Hits       uint64
 	Misses     uint64
 	Evictions  uint64
 	Flushes    uint64
 	Writebacks uint64 // dirty lines written back on eviction or flush
+}
+
+// Reset zeroes all counters (e.g. between experiment phases).
+func (s *CacheStats) Reset() { *s = CacheStats{} }
+
+// Accesses returns the total number of lookups counted.
+func (s CacheStats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// HitRate returns Hits / (Hits + Misses), or 0 with no accesses.
+func (s CacheStats) HitRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Hits) / float64(a)
+	}
+	return 0
 }
 
 type cacheLine struct {

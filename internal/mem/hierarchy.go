@@ -141,6 +141,10 @@ type Hierarchy struct {
 	// (write-invalidate coherence).
 	peers         []*Hierarchy
 	Invalidations uint64
+
+	// metrics, when attached (AttachMetrics), records per-level access
+	// latency histograms and publishes the counters above.
+	metrics *hierMetrics
 }
 
 // AttachPeer links two per-core hierarchies that share an L2 and
@@ -222,13 +226,16 @@ func (h *Hierarchy) Access(addr uint64, install bool) (latency uint64, served Le
 		latency += h.TLB.Access(addr)
 	}
 	if h.L1.Lookup(addr) {
-		return latency + h.L1.Config().HitLatency, LevelL1
+		latency += h.L1.Config().HitLatency
+		h.observeLatency(latency, LevelL1)
+		return latency, LevelL1
 	}
 	if h.L2 != nil && h.L2.Lookup(addr) {
 		latency += h.L2.Config().HitLatency
 		if install {
 			h.L1.Insert(addr)
 		}
+		h.observeLatency(latency, LevelL2)
 		return latency, LevelL2
 	}
 	latency += h.Mem.Latency
@@ -250,6 +257,7 @@ func (h *Hierarchy) Access(addr uint64, install bool) (latency uint64, served Le
 			h.Prefetches++
 		}
 	}
+	h.observeLatency(latency, LevelMem)
 	return latency, LevelMem
 }
 

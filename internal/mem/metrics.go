@@ -1,0 +1,161 @@
+package mem
+
+import (
+	"strings"
+
+	"vpsec/internal/metrics"
+)
+
+// latencyBounds buckets access latencies: the interesting structure is
+// the L1 / L2 / DRAM separation (3 / ~15 / 150+ cycles by default)
+// plus the jitter spread around each mode.
+var latencyBounds = []float64{2, 4, 8, 16, 32, 64, 128, 192, 256, 384, 512}
+
+// latencyBoundsInt mirrors latencyBounds for the hot path's integer
+// compares (observed latencies are cycle counts).
+var latencyBoundsInt = func() []uint64 {
+	out := make([]uint64, len(latencyBounds))
+	for i, b := range latencyBounds {
+		out[i] = uint64(b)
+	}
+	return out
+}()
+
+// latTally is one level's local observation buffer: per-bucket counts
+// plus sum/count, merged into the shared histogram at publish time so
+// the per-access cost stays a short compare loop and an increment.
+type latTally struct {
+	counts []uint64 // len(latencyBounds)+1; +Inf last
+	sum    uint64
+	count  uint64
+}
+
+// hierMetrics holds the hierarchy's registry handles plus the
+// last-published copy of each cumulative stat block, so PublishMetrics
+// adds exact deltas and may be called any number of times (counters in
+// the registry stay monotone even when several machines share it).
+type hierMetrics struct {
+	reg     *metrics.Registry
+	latency [3]*metrics.Histogram // indexed by Level
+	tally   [3]latTally
+
+	lastL1, lastL2           CacheStats
+	lastTLBHits, lastTLBMiss uint64
+	lastReads, lastWrites    uint64
+	lastPrefetch, lastInval  uint64
+}
+
+// scopeName lowercases a cache's configured name into a registry scope
+// segment ("L1D" -> "l1d").
+func scopeName(s string) string {
+	return strings.ToLower(s)
+}
+
+// AttachMetrics connects the hierarchy to a registry: demand-access
+// latencies are recorded into per-level histograms as they happen, and
+// PublishMetrics forwards the cache/TLB/DRAM counters. Attach one
+// hierarchy per shared L2 — peers publishing the same shared cache
+// would double-count it.
+func (h *Hierarchy) AttachMetrics(reg *metrics.Registry) {
+	m := &hierMetrics{reg: reg}
+	m.latency[LevelL1] = reg.Histogram("mem.l1d.latency", "cycles for demand accesses served by the L1D", latencyBounds)
+	if h.L2 != nil {
+		m.latency[LevelL2] = reg.Histogram("mem.l2.latency", "cycles for demand accesses served by the L2", latencyBounds)
+	}
+	m.latency[LevelMem] = reg.Histogram("mem.dram.latency", "cycles for demand accesses served by DRAM", latencyBounds)
+	for i := range m.tally {
+		if m.latency[i] != nil {
+			m.tally[i].counts = make([]uint64, len(latencyBounds)+1)
+		}
+	}
+	h.metrics = m
+}
+
+// observeLatency records one demand access outcome (no-op when no
+// registry is attached; with one, the common L1 hit resolves in two
+// integer compares and an increment).
+func (h *Hierarchy) observeLatency(lat uint64, served Level) {
+	m := h.metrics
+	if m == nil {
+		return
+	}
+	t := &m.tally[served]
+	if t.counts == nil {
+		return
+	}
+	i := 0
+	for i < len(latencyBoundsInt) && lat > latencyBoundsInt[i] {
+		i++
+	}
+	t.counts[i]++
+	t.sum += lat
+	t.count++
+}
+
+// flushLatency merges the local tallies into the shared histograms.
+func (m *hierMetrics) flushLatency() {
+	for i := range m.tally {
+		t := &m.tally[i]
+		if t.count == 0 {
+			continue
+		}
+		m.latency[i].Merge(t.counts, float64(t.sum), t.count)
+		clear(t.counts)
+		t.sum, t.count = 0, 0
+	}
+}
+
+// publishCacheDelta adds the change in st since last into the
+// mem.<scope>.* counters and refreshes last.
+func publishCacheDelta(reg *metrics.Registry, scope string, st CacheStats, last *CacheStats) {
+	reg.Counter("mem."+scope+".hits", "cache hits").Add(st.Hits - last.Hits)
+	reg.Counter("mem."+scope+".misses", "cache misses").Add(st.Misses - last.Misses)
+	reg.Counter("mem."+scope+".evictions", "lines evicted").Add(st.Evictions - last.Evictions)
+	reg.Counter("mem."+scope+".flushes", "lines flushed (clflush)").Add(st.Flushes - last.Flushes)
+	reg.Counter("mem."+scope+".writebacks", "dirty lines written back").Add(st.Writebacks - last.Writebacks)
+	*last = st
+}
+
+// PublishMetrics forwards the hierarchy's cumulative counters (caches,
+// TLB, DRAM, prefetcher, coherence) into the attached registry as
+// deltas since the previous publish. The per-level hit-rate gauges are
+// recomputed from the registry totals, so they aggregate correctly
+// when many machines publish into one registry.
+func (h *Hierarchy) PublishMetrics() {
+	m := h.metrics
+	if m == nil {
+		return
+	}
+	m.flushLatency()
+	reg := m.reg
+	l1 := scopeName(h.L1.Config().Name)
+	publishCacheDelta(reg, l1, h.L1.Stats, &m.lastL1)
+	hitRateGauge(reg, l1)
+	if h.L2 != nil {
+		l2 := scopeName(h.L2.Config().Name)
+		publishCacheDelta(reg, l2, h.L2.Stats, &m.lastL2)
+		hitRateGauge(reg, l2)
+	}
+	if h.TLB != nil {
+		reg.Counter("mem.tlb.hits", "TLB hits").Add(h.TLB.Hits - m.lastTLBHits)
+		reg.Counter("mem.tlb.misses", "TLB misses (page walks)").Add(h.TLB.Miss - m.lastTLBMiss)
+		m.lastTLBHits, m.lastTLBMiss = h.TLB.Hits, h.TLB.Miss
+	}
+	reg.Counter("mem.dram.reads", "words read from backing memory").Add(h.Mem.Reads - m.lastReads)
+	reg.Counter("mem.dram.writes", "words written to backing memory").Add(h.Mem.Writes - m.lastWrites)
+	m.lastReads, m.lastWrites = h.Mem.Reads, h.Mem.Writes
+	reg.Counter("mem.prefetches", "next-line prefetch fills").Add(h.Prefetches - m.lastPrefetch)
+	reg.Counter("mem.invalidations", "peer-L1 coherence invalidations").Add(h.Invalidations - m.lastInval)
+	m.lastPrefetch, m.lastInval = h.Prefetches, h.Invalidations
+}
+
+// hitRateGauge derives mem.<scope>.hit_rate from the registry's own
+// hit/miss totals.
+func hitRateGauge(reg *metrics.Registry, scope string) {
+	hits := reg.Counter("mem."+scope+".hits", "").Value()
+	misses := reg.Counter("mem."+scope+".misses", "").Value()
+	g := reg.Gauge("mem."+scope+".hit_rate", "hits / (hits+misses)")
+	if total := hits + misses; total > 0 {
+		g.Set(float64(hits) / float64(total))
+	}
+}

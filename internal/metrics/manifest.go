@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// Manifest is a run manifest: everything needed to trace a figure or
+// table back to the exact run that produced it — the tool and its
+// configuration, the seed, the predictor kind, wall time, simulated
+// cycles, and the full metrics snapshot. Every cmd/ tool writes one
+// with -manifest <path>.
+//
+// Unlike metric snapshots (which must be byte-identical across
+// equal-seed runs), manifests record wall-clock facts; compare
+// manifests with their Metrics field, not byte-for-byte.
+type Manifest struct {
+	Tool      string            `json:"tool"`
+	Program   string            `json:"program,omitempty"`
+	Predictor string            `json:"predictor,omitempty"`
+	Seed      int64             `json:"seed"`
+	Config    map[string]string `json:"config,omitempty"`
+
+	StartedAt   string  `json:"started_at"` // RFC3339
+	WallSeconds float64 `json:"wall_seconds"`
+	SimCycles   uint64  `json:"sim_cycles,omitempty"`
+
+	// TTrajectory, for attack runs, is the Welch t statistic recomputed
+	// after each trial pair — the convergence curve that makes a failed
+	// attack debuggable from its dump alone.
+	TTrajectory []float64 `json:"t_trajectory,omitempty"`
+
+	Metrics Snapshot `json:"metrics"`
+}
+
+// NewManifest starts a manifest for tool; call Finish before writing.
+func NewManifest(tool string, seed int64) *Manifest {
+	return &Manifest{
+		Tool:      tool,
+		Seed:      seed,
+		StartedAt: time.Now().UTC().Format(time.RFC3339),
+		Config:    make(map[string]string),
+	}
+}
+
+// Finish stamps the wall time and captures the registry snapshot. If
+// SimCycles is unset it is recovered from the snapshot's cpu.cycles or
+// attacks.trial.cycles totals, when present.
+func (m *Manifest) Finish(r *Registry, start time.Time) {
+	m.WallSeconds = time.Since(start).Seconds()
+	if r != nil {
+		m.Metrics = r.Snapshot()
+		if m.SimCycles == 0 {
+			if v, ok := m.Metrics.Counters["cpu.cycles"]; ok {
+				m.SimCycles = v
+			} else if h, ok := m.Metrics.Histograms["attacks.trial.cycles"]; ok {
+				m.SimCycles = uint64(h.Sum)
+			}
+		}
+	}
+}
+
+// WriteFile writes the manifest as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

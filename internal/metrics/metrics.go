@@ -1,0 +1,342 @@
+// Package metrics is the simulator's unified observability layer: a
+// zero-dependency registry of named counters, gauges and fixed-bucket
+// histograms with hierarchical dot-separated scopes
+// (cpu.commit.squashes, mem.l1d.hits, pred.lvp.mispredicts,
+// attacks.trial.cycles), deterministic iteration order, snapshot
+// diffing, and two exporters (canonical JSON and Prometheus text
+// format — see export.go). Every layer of the simulator publishes into
+// one registry so a whole run is debuggable from its metrics dump
+// alone, and cmd/ tools emit run manifests (manifest.go) tying each
+// artifact back to the exact run that produced it.
+//
+// Determinism is a design requirement: two runs with the same seed
+// must produce byte-identical JSON exports. The registry therefore
+// never records wall-clock time, exports in sorted-name order, and
+// histogram accumulation is order-independent (integral observations
+// below 2^53 add exactly in float64).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is an instantaneous value (e.g. cpu.ipc).
+type Gauge struct {
+	v float64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram is a fixed-bucket histogram: bounds are ascending upper
+// bucket edges, with an implicit +Inf overflow bucket, Prometheus
+// style (cumulative conversion happens at export).
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Merge folds in pre-aggregated observations: counts are per-bucket
+// tallies aligned with this histogram's buckets (+Inf last). It exists
+// so per-cycle hot loops can tally into a local array and publish at
+// run boundaries instead of paying Observe's bucket search every call.
+func (h *Histogram) Merge(counts []uint64, sum float64, count uint64) {
+	if len(counts) != len(h.counts) {
+		panic(fmt.Sprintf("metrics: Merge with %d buckets into a %d-bucket histogram", len(counts), len(h.counts)))
+	}
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	h.sum += sum
+	h.count += count
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Buckets returns the bucket bounds and per-bucket (non-cumulative)
+// counts; the final count is the +Inf overflow bucket.
+func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
+	return append([]float64(nil), h.bounds...), append([]uint64(nil), h.counts...)
+}
+
+// kind tags a registered name so re-registration under a different
+// metric type is caught early.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "?"
+}
+
+// Registry holds all metrics of one run. Registration is idempotent:
+// asking for an existing name returns the same instance, so components
+// can look up their handles without coordination. Registration is
+// locked; individual Inc/Observe calls are not (the simulator is
+// single-threaded per machine, and hot-loop counters must stay at
+// plain-add cost).
+type Registry struct {
+	mu    sync.Mutex
+	kinds map[string]kind
+	help  map[string]string
+
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	// promBase maps each metric's sanitized Prometheus base name back
+	// to its scope name, so colliding series are rejected at
+	// registration instead of producing an invalid export.
+	promBase map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		kinds:    make(map[string]kind),
+		help:     make(map[string]string),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		promBase: make(map[string]string),
+	}
+}
+
+// validName enforces the scope naming convention: dot-separated
+// lowercase segments of [a-z0-9_-], e.g. "mem.l1d.hits".
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("metrics: empty name")
+	}
+	for _, seg := range strings.Split(name, ".") {
+		if seg == "" {
+			return fmt.Errorf("metrics: empty scope segment in %q", name)
+		}
+		for _, r := range seg {
+			switch {
+			case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-':
+			default:
+				return fmt.Errorf("metrics: invalid character %q in %q (want [a-z0-9_.-])", r, name)
+			}
+		}
+	}
+	return nil
+}
+
+// register reserves name for k, panicking on naming-scheme violations
+// — registrations are static program structure, so a bad name is a
+// programmer error, not a runtime condition to handle.
+func (r *Registry) register(name, help string, k kind) {
+	if err := validName(name); err != nil {
+		panic(err)
+	}
+	if prev, ok := r.kinds[name]; ok {
+		if prev != k {
+			panic(fmt.Sprintf("metrics: %q registered as %v, requested as %v", name, prev, k))
+		}
+		return
+	}
+	base := PromName(name)
+	if other, ok := r.promBase[base]; ok {
+		panic(fmt.Sprintf("metrics: %q and %q collide on Prometheus name %q", name, other, base))
+	}
+	r.promBase[base] = name
+	r.kinds[name] = k
+	r.help[name] = help
+}
+
+// Counter returns the counter for name, registering it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name, help, kindCounter)
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for name, registering it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name, help, kindGauge)
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram for name with the given ascending
+// bucket upper bounds (+Inf is implicit), registering it on first use.
+// Later calls may pass nil bounds to look up the existing histogram.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name, help, kindHistogram)
+	h, ok := r.hists[name]
+	if ok {
+		return h
+	}
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("metrics: histogram %q registered without bounds", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q bounds not ascending: %v", name, bounds))
+		}
+	}
+	h = &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	r.hists[name] = h
+	return h
+}
+
+// Names returns every registered name in sorted order — the
+// deterministic iteration order all exporters use.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.kinds))
+	for n := range r.kinds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Help returns the help string registered for name.
+func (r *Registry) Help(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.help[name]
+}
+
+// HistogramSnapshot is the exported state of one histogram.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"` // per-bucket; last is +Inf
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of a registry's values, suitable
+// for diffing, embedding in run manifests, and export.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.v
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.v
+	}
+	for n, h := range r.hists {
+		s.Histograms[n] = HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]uint64(nil), h.counts...),
+			Sum:    h.sum,
+			Count:  h.count,
+		}
+	}
+	return s
+}
+
+// Diff returns the change from prev to s: counters and histogram
+// counts subtract (a name missing from prev diffs against zero);
+// gauges keep their current value. Use it to isolate one phase of a
+// longer run: snap before, snap after, diff.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for n, v := range s.Counters {
+		d.Counters[n] = v - prev.Counters[n]
+	}
+	for n, v := range s.Gauges {
+		d.Gauges[n] = v
+	}
+	for n, h := range s.Histograms {
+		dh := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.Bounds...),
+			Counts: append([]uint64(nil), h.Counts...),
+			Sum:    h.Sum,
+			Count:  h.Count,
+		}
+		if ph, ok := prev.Histograms[n]; ok && len(ph.Counts) == len(dh.Counts) {
+			for i := range dh.Counts {
+				dh.Counts[i] -= ph.Counts[i]
+			}
+			dh.Sum -= ph.Sum
+			dh.Count -= ph.Count
+		}
+		d.Histograms[n] = dh
+	}
+	return d
+}

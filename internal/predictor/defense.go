@@ -82,7 +82,7 @@ func (a *AType) Update(ctx Context, actual uint64, pred Prediction) {
 		if pred.Value == actual {
 			a.stats.Correct++
 		} else {
-			a.stats.Incorrect++
+			a.stats.Mispredicts++
 		}
 	}
 	a.inner.Update(ctx, actual, pred)
@@ -151,7 +151,7 @@ func (r *RType) Update(ctx Context, actual uint64, pred Prediction) {
 		if pred.Value == actual {
 			r.stats.Correct++
 		} else {
-			r.stats.Incorrect++
+			r.stats.Mispredicts++
 		}
 	}
 	r.inner.Update(ctx, actual, pred)

@@ -119,7 +119,7 @@ func (p *FCM) Update(ctx Context, actual uint64, pred Prediction) {
 		if pred.Value == actual {
 			p.stats.Correct++
 		} else {
-			p.stats.Incorrect++
+			p.stats.Mispredicts++
 		}
 	}
 	k := makeKey(p.cfg.Scheme, p.cfg.UsePID, ctx)

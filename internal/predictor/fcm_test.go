@@ -107,8 +107,8 @@ func TestFCMStatsAccounting(t *testing.T) {
 	}
 	p.Update(ctx, 6, pred) // wrong
 	s := p.Stats()
-	if s.Incorrect != 1 {
-		t.Errorf("incorrect = %d, want 1", s.Incorrect)
+	if s.Mispredicts != 1 {
+		t.Errorf("incorrect = %d, want 1", s.Mispredicts)
 	}
 	if s.Predictions+s.NoPredictions != s.Lookups {
 		t.Errorf("accounting inconsistent: %+v", s)

@@ -119,7 +119,7 @@ func (p *LVP) Update(ctx Context, actual uint64, pred Prediction) {
 			p.stats.Correct++
 			e.usefulness++
 		} else {
-			p.stats.Incorrect++
+			p.stats.Mispredicts++
 			if e.usefulness > 0 {
 				e.usefulness--
 			}
@@ -216,3 +216,13 @@ func (p *LVP) LastValue(ctx Context) (uint64, bool) {
 
 // Len returns the current number of table entries.
 func (p *LVP) Len() int { return len(p.table) }
+
+// ConfidenceCounts implements ConfidenceReporter: the confidence
+// counter of every live table entry, in no particular order.
+func (p *LVP) ConfidenceCounts() []int {
+	out := make([]int, 0, len(p.table))
+	for _, e := range p.table {
+		out = append(out, e.confidence)
+	}
+	return out
+}

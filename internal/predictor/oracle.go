@@ -52,7 +52,7 @@ func (o *Oracle) Update(ctx Context, actual uint64, pred Prediction) {
 		if pred.Value == actual {
 			o.stats.Correct++
 		} else {
-			o.stats.Incorrect++
+			o.stats.Mispredicts++
 		}
 	}
 	o.inner.Update(ctx, actual, pred)

@@ -57,14 +57,34 @@ type Prediction struct {
 	Value uint64 // predicted value, meaningful when Hit
 }
 
-// Stats counts predictor events.
+// Stats counts predictor events. Field names follow the metrics
+// registry scope convention (pred.<name>.lookups, .predictions,
+// .no_predictions, .correct, .mispredicts, .evictions) so code,
+// JSON dumps, and Prometheus exports share one vocabulary.
 type Stats struct {
 	Lookups       uint64 // Predict calls
 	Predictions   uint64 // lookups that produced a value
 	NoPredictions uint64 // lookups below the confidence threshold
 	Correct       uint64 // verified-correct predictions
-	Incorrect     uint64 // verified-incorrect predictions (squashes)
+	Mispredicts   uint64 // verified-incorrect predictions (squashes)
 	Evictions     uint64 // usefulness-based evictions
+}
+
+// Accuracy returns Correct / (Correct + Mispredicts), or 0 when no
+// prediction has been verified yet.
+func (s Stats) Accuracy() float64 {
+	if v := s.Correct + s.Mispredicts; v > 0 {
+		return float64(s.Correct) / float64(v)
+	}
+	return 0
+}
+
+// ConfidenceReporter is implemented by predictors that can report the
+// current values of their per-entry confidence counters; the metrics
+// layer turns the slice into the pred.<name>.confidence histogram
+// (Sec. IV-A's training dynamics are visible in this distribution).
+type ConfidenceReporter interface {
+	ConfidenceCounts() []int
 }
 
 // Predictor is the interface between the pipeline's Value Prediction

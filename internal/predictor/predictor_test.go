@@ -143,7 +143,7 @@ func TestLVPStatsAndReset(t *testing.T) {
 	pred = p.Predict(ctx)
 	p.Update(ctx, 1, pred) // incorrect
 	s := p.Stats()
-	if s.Lookups != 5 || s.Correct != 2 || s.Incorrect != 1 {
+	if s.Lookups != 5 || s.Correct != 2 || s.Mispredicts != 1 {
 		t.Errorf("stats = %+v", s)
 	}
 	if s.Predictions+s.NoPredictions != s.Lookups {
@@ -497,7 +497,7 @@ func TestPredictorInterfaceSurfaces(t *testing.T) {
 		t.Errorf("A-fixed pred = %+v", p)
 	}
 	af.Update(ctx, 9, Prediction{Hit: true, Value: 0x5})
-	if af.Stats().Incorrect != 1 {
+	if af.Stats().Mispredicts != 1 {
 		t.Errorf("A-fixed stats = %+v", af.Stats())
 	}
 	if _, ok := af.LastValue(ctx); !ok {
@@ -514,7 +514,7 @@ func TestPredictorInterfaceSurfaces(t *testing.T) {
 	or2.Update(ctx, 4, Prediction{Hit: true, Value: 4})
 	or2.Update(ctx, 5, Prediction{Hit: true, Value: 4})
 	s := or2.Stats()
-	if s.Correct != 1 || s.Incorrect != 1 {
+	if s.Correct != 1 || s.Mispredicts != 1 {
 		t.Errorf("oracle stats = %+v", s)
 	}
 }

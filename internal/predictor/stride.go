@@ -105,7 +105,7 @@ func (p *Stride) Update(ctx Context, actual uint64, pred Prediction) {
 			p.stats.Correct++
 			e.usefulness++
 		} else {
-			p.stats.Incorrect++
+			p.stats.Mispredicts++
 			if e.usefulness > 0 {
 				e.usefulness--
 			}

@@ -77,8 +77,8 @@ func TestStrideChangeResetsConfidence(t *testing.T) {
 		t.Error("confidence should have reset on stride change")
 	}
 	s := p.Stats()
-	if s.Incorrect != 1 {
-		t.Errorf("incorrect = %d, want 1", s.Incorrect)
+	if s.Mispredicts != 1 {
+		t.Errorf("incorrect = %d, want 1", s.Mispredicts)
 	}
 }
 

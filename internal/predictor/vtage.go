@@ -180,7 +180,7 @@ func (v *VTAGE) Update(ctx Context, actual uint64, pred Prediction) {
 		if pred.Value == actual {
 			v.stats.Correct++
 		} else {
-			v.stats.Incorrect++
+			v.stats.Mispredicts++
 		}
 	}
 	matched := false
@@ -249,3 +249,17 @@ func (v *VTAGE) bumpConfidence() bool {
 // LastValue exposes the base table's stored value for the A-type
 // defense wrapper.
 func (v *VTAGE) LastValue(ctx Context) (uint64, bool) { return v.base.LastValue(ctx) }
+
+// ConfidenceCounts implements ConfidenceReporter: the base table's
+// counters followed by every valid tagged entry's counter.
+func (v *VTAGE) ConfidenceCounts() []int {
+	out := v.base.ConfidenceCounts()
+	for c := range v.tagged {
+		for i := range v.tagged[c] {
+			if v.tagged[c][i].valid {
+				out = append(out, v.tagged[c][i].confidence)
+			}
+		}
+	}
+	return out
+}

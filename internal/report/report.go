@@ -15,6 +15,7 @@ import (
 	"vpsec/internal/core"
 	"vpsec/internal/defense"
 	"vpsec/internal/locality"
+	"vpsec/internal/metrics"
 	"vpsec/internal/rsa"
 	"vpsec/internal/workload"
 )
@@ -28,6 +29,11 @@ type Config struct {
 	// Quick trims the expensive sections (defense matrix, sweeps) for
 	// smoke runs.
 	Quick bool
+
+	// Metrics, when non-nil, receives the counters of every attack
+	// evaluation the report runs (see internal/metrics). Excluded from
+	// the report's own JSON.
+	Metrics *metrics.Registry `json:"-"`
 }
 
 func (c *Config) setDefaults() {
@@ -130,7 +136,7 @@ func Generate(cfg Config, now time.Time) (*Report, error) {
 	}
 
 	// Table III.
-	baseOpt := attacks.Options{Runs: cfg.Runs, Seed: cfg.Seed}
+	baseOpt := attacks.Options{Runs: cfg.Runs, Seed: cfg.Seed, Metrics: cfg.Metrics}
 	rows, err := attacks.TableIII(cfg.Predictor, baseOpt)
 	if err != nil {
 		return nil, err
@@ -171,7 +177,7 @@ func Generate(cfg Config, now time.Time) (*Report, error) {
 
 	// Defenses.
 	if !cfg.Quick {
-		dOpt := attacks.Options{Channel: core.TimingWindow, Runs: cfg.DefenseRuns, Seed: cfg.Seed}
+		dOpt := attacks.Options{Channel: core.TimingWindow, Runs: cfg.DefenseRuns, Seed: cfg.Seed, Metrics: cfg.Metrics}
 		tt, err := defense.SweepRWindow(core.TrainTest, 5, dOpt)
 		if err != nil {
 			return nil, err
@@ -189,7 +195,7 @@ func Generate(cfg Config, now time.Time) (*Report, error) {
 		r.MinWindowTrainTest = defense.MinimalSecureWindow(tt)
 		r.MinWindowTestHit = defense.MinimalSecureWindow(th)
 
-		mOpt := attacks.Options{Runs: cfg.DefenseRuns, Seed: cfg.Seed}
+		mOpt := attacks.Options{Runs: cfg.DefenseRuns, Seed: cfg.Seed, Metrics: cfg.Metrics}
 		cells, err := defense.Matrix(mOpt, nil)
 		if err != nil {
 			return nil, err
@@ -211,7 +217,7 @@ func Generate(cfg Config, now time.Time) (*Report, error) {
 		}
 		ev, err := attacks.RunTrainTestEviction(attacks.Options{
 			Predictor: cfg.Predictor, Channel: core.TimingWindow,
-			Runs: cfg.Runs, Seed: cfg.Seed,
+			Runs: cfg.Runs, Seed: cfg.Seed, Metrics: cfg.Metrics,
 		})
 		if err := add("Train+Test via eviction sets (no CLFLUSH)", ev, err); err != nil {
 			return nil, err
@@ -233,14 +239,14 @@ func Generate(cfg Config, now time.Time) (*Report, error) {
 			return nil, err
 		}
 		smt, err := attacks.RunTestHitVolatileSMT(attacks.Options{
-			Predictor: cfg.Predictor, Runs: cfg.Runs, Seed: cfg.Seed,
+			Predictor: cfg.Predictor, Runs: cfg.Runs, Seed: cfg.Seed, Metrics: cfg.Metrics,
 		})
 		if err := add("Test+Hit volatile via SMT co-runner", smt, err); err != nil {
 			return nil, err
 		}
 		s2d, err := attacks.Run(core.TrainTest, attacks.Options{
 			Predictor: attacks.Stride2D, Channel: core.TimingWindow,
-			Runs: cfg.Runs, Seed: cfg.Seed,
+			Runs: cfg.Runs, Seed: cfg.Seed, Metrics: cfg.Metrics,
 		})
 		if err := add("Train+Test on 2-delta stride predictor", s2d, err); err != nil {
 			return nil, err

@@ -1,10 +1,13 @@
 package report
 
 import (
+	"bytes"
 	"encoding/json"
 	"strings"
 	"testing"
 	"time"
+
+	"vpsec/internal/metrics"
 )
 
 func TestGenerateQuick(t *testing.T) {
@@ -82,6 +85,46 @@ func TestRenderings(t *testing.T) {
 	}
 	if back.PatternsTotal != r.PatternsTotal || len(back.TableIII) != len(r.TableIII) {
 		t.Error("JSON round-trip lost data")
+	}
+}
+
+// TestMetricsDeterministic is the observability contract: two
+// same-seed runs must export byte-identical metrics JSON, so a metrics
+// diff between two artifacts always means a real behavioral change,
+// never exporter noise.
+func TestMetricsDeterministic(t *testing.T) {
+	ts := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	dump := func() []byte {
+		reg := metrics.NewRegistry()
+		cfg := Config{Runs: 4, Seed: 9, Quick: true, Metrics: reg}
+		if _, err := Generate(cfg, ts); err != nil {
+			t.Fatal(err)
+		}
+		out, err := reg.Snapshot().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := dump(), dump()
+	if len(a) == 0 || string(a) == "{}" {
+		t.Fatalf("metrics dump empty: %s", a)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("same-seed metrics dumps differ:\n%s\n---\n%s", a, b)
+	}
+	// The dump must cover every layer the report exercises.
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(a, &snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cpu.cycles", "mem.l1d.misses", "attacks.trials"} {
+		if snap.Counters[want] == 0 {
+			t.Errorf("counter %s is zero in the report dump", want)
+		}
+	}
+	if snap.Histograms["attacks.trial.cycles"].Count == 0 {
+		t.Error("attacks.trial.cycles histogram empty")
 	}
 }
 

@@ -34,8 +34,21 @@ func (r *Recorder) ExportKanata(w io.Writer) error {
 		return err
 	}
 	cur := evs[0].Cycle
-	introduced := map[uint64]bool{}
-	retired := map[uint64]bool{}
+	// A Kanata instruction record ends at its R line, so a squashed-
+	// then-replayed entry (selective replay keeps the same seq) must
+	// re-enter under a fresh display id — otherwise its eventual commit
+	// would be lost. ids maps each seq to its live incarnation; the
+	// first incarnation reuses the seq as its id, replays draw fresh ids
+	// above every seq in the trace.
+	ids := map[uint64]uint64{}    // seq -> live Kanata id
+	seen := map[uint64]bool{}     // seq was introduced at least once
+	labels := map[uint64]string{} // first disassembly text per seq
+	var nextID uint64
+	for _, ev := range evs {
+		if ev.Seq >= nextID {
+			nextID = ev.Seq + 1
+		}
+	}
 	var retireID uint64 = 1
 	for _, ev := range evs {
 		if ev.Cycle > cur {
@@ -44,53 +57,60 @@ func (r *Recorder) ExportKanata(w io.Writer) error {
 			}
 			cur = ev.Cycle
 		}
-		if !introduced[ev.Seq] {
-			introduced[ev.Seq] = true
-			if _, err := fmt.Fprintf(w, "I\t%d\t%d\t0\n", ev.Seq, ev.Seq); err != nil {
+		id, live := ids[ev.Seq]
+		if !live {
+			if !seen[ev.Seq] {
+				id = ev.Seq
+				seen[ev.Seq] = true
+				if ev.Text != "" {
+					labels[ev.Seq] = ev.Text
+				}
+			} else {
+				id = nextID
+				nextID++
+			}
+			ids[ev.Seq] = id
+			if _, err := fmt.Fprintf(w, "I\t%d\t%d\t0\n", id, ev.Seq); err != nil {
 				return err
 			}
-			if ev.Text != "" {
-				if _, err := fmt.Fprintf(w, "L\t%d\t0\t%s\n", ev.Seq, ev.Text); err != nil {
+			if txt, ok := labels[ev.Seq]; ok {
+				if _, err := fmt.Fprintf(w, "L\t%d\t0\t%s\n", id, txt); err != nil {
 					return err
 				}
 			}
 		}
 		switch ev.Kind {
 		case Fetch:
-			if _, err := fmt.Fprintf(w, "S\t%d\t0\tF\n", ev.Seq); err != nil {
+			if _, err := fmt.Fprintf(w, "S\t%d\t0\tF\n", id); err != nil {
 				return err
 			}
 		case Issue:
-			if _, err := fmt.Fprintf(w, "S\t%d\t0\tI\n", ev.Seq); err != nil {
+			if _, err := fmt.Fprintf(w, "S\t%d\t0\tI\n", id); err != nil {
 				return err
 			}
 		case Predict:
-			if _, err := fmt.Fprintf(w, "L\t%d\t1\tvalue-predicted\n", ev.Seq); err != nil {
+			if _, err := fmt.Fprintf(w, "L\t%d\t1\tvalue-predicted\n", id); err != nil {
 				return err
 			}
 		case Verify:
-			if _, err := fmt.Fprintf(w, "L\t%d\t1\tverify:%s\n", ev.Seq, ev.Text); err != nil {
+			if _, err := fmt.Fprintf(w, "L\t%d\t1\tverify:%s\n", id, ev.Text); err != nil {
 				return err
 			}
 		case Writeback:
-			if _, err := fmt.Fprintf(w, "S\t%d\t0\tW\n", ev.Seq); err != nil {
+			if _, err := fmt.Fprintf(w, "S\t%d\t0\tW\n", id); err != nil {
 				return err
 			}
 		case Commit:
-			if !retired[ev.Seq] {
-				retired[ev.Seq] = true
-				if _, err := fmt.Fprintf(w, "R\t%d\t%d\t0\n", ev.Seq, retireID); err != nil {
-					return err
-				}
-				retireID++
+			if _, err := fmt.Fprintf(w, "R\t%d\t%d\t0\n", id, retireID); err != nil {
+				return err
 			}
+			retireID++
+			delete(ids, ev.Seq)
 		case Squash:
-			if !retired[ev.Seq] {
-				retired[ev.Seq] = true
-				if _, err := fmt.Fprintf(w, "R\t%d\t0\t1\n", ev.Seq); err != nil {
-					return err
-				}
+			if _, err := fmt.Fprintf(w, "R\t%d\t0\t1\n", id); err != nil {
+				return err
 			}
+			delete(ids, ev.Seq)
 		}
 	}
 	return nil

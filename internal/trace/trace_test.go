@@ -105,6 +105,43 @@ func TestExportKanata(t *testing.T) {
 	}
 }
 
+func TestExportKanataSquashThenReplay(t *testing.T) {
+	// Selective replay keeps the squashed entry's seq: after the flush
+	// record, the re-executed incarnation must re-enter under a fresh
+	// Kanata id (with its label) and still produce a retire record.
+	r := NewRecorder(0)
+	r.Record(Event{Cycle: 5, Kind: Fetch, Seq: 0, Text: "load r2, [r1+0]"})
+	r.Record(Event{Cycle: 6, Kind: Issue, Seq: 0})
+	r.Record(Event{Cycle: 6, Kind: Fetch, Seq: 1, Text: "add r3, r2, r2"})
+	r.Record(Event{Cycle: 7, Kind: Issue, Seq: 1})
+	r.Record(Event{Cycle: 9, Kind: Verify, Seq: 0, Text: "wrong"})
+	r.Record(Event{Cycle: 9, Kind: Squash, Seq: 1, Text: "replay"})
+	r.Record(Event{Cycle: 10, Kind: Commit, Seq: 0})
+	r.Record(Event{Cycle: 11, Kind: Issue, Seq: 1}) // replayed incarnation
+	r.Record(Event{Cycle: 12, Kind: Writeback, Seq: 1})
+	r.Record(Event{Cycle: 13, Kind: Commit, Seq: 1})
+
+	var sb strings.Builder
+	if err := r.ExportKanata(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"R\t1\t0\t1",              // first incarnation flushed
+		"I\t2\t1\t0",              // replay re-enters under a fresh id
+		"L\t2\t0\tadd r3, r2, r2", // label survives the round trip
+		"R\t0\t1\t0",              // the load retires first
+		"R\t2\t2\t0",              // the replayed add retires second
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("kanata log missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "I\t") != 3 {
+		t.Errorf("want 3 introductions (load + two add incarnations):\n%s", out)
+	}
+}
+
 func TestEnableAndClip(t *testing.T) {
 	var r Recorder // zero value: disabled
 	r.Record(Event{Kind: Fetch})

@@ -1,0 +1,105 @@
+// Command benchmetrics measures the metrics registry's overhead on the
+// simulator hot loop: it runs BenchmarkSimulator (bare machine) and
+// BenchmarkSimulatorMetrics (registry attached) and writes the
+// comparison to a JSON record (BENCH_metrics.json in the repo root).
+// The acceptance budget is overhead_pct < 5.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"time"
+)
+
+// Record is the schema of BENCH_metrics.json.
+type Record struct {
+	Date        string  `json:"date"`
+	GoVersion   string  `json:"go_version"`
+	Count       int     `json:"count"`
+	Benchtime   string  `json:"benchtime"`
+	BaseNsOp    float64 `json:"base_ns_per_op"`    // BenchmarkSimulator, best of count
+	MetricsNsOp float64 `json:"metrics_ns_per_op"` // BenchmarkSimulatorMetrics, best of count
+	OverheadPct float64 `json:"overhead_pct"`
+	Budget      float64 `json:"budget_pct"`
+	Pass        bool    `json:"pass"`
+}
+
+var lineRE = regexp.MustCompile(`^(BenchmarkSimulator(?:Metrics)?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+
+func main() {
+	benchtime := flag.String("benchtime", "5x", "go test -benchtime value")
+	count := flag.Int("count", 3, "go test -count value; the best run of each side is compared")
+	out := flag.String("o", "BENCH_metrics.json", "output file")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "^(BenchmarkSimulator|BenchmarkSimulatorMetrics)$",
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), ".")
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchmetrics: go test:", err)
+		os.Exit(1)
+	}
+
+	// Keep the best (minimum) time per benchmark: noise only ever adds.
+	best := map[string]float64{}
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(raw), -1) {
+		m := lineRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if cur, ok := best[m[1]]; !ok || ns < cur {
+			best[m[1]] = ns
+		}
+	}
+	base, okB := best["BenchmarkSimulator"]
+	withM, okM := best["BenchmarkSimulatorMetrics"]
+	if !okB || !okM {
+		fmt.Fprintf(os.Stderr, "benchmetrics: missing benchmark output:\n%s", raw)
+		os.Exit(1)
+	}
+
+	rec := Record{
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		GoVersion:   goVersion(),
+		Count:       *count,
+		Benchtime:   *benchtime,
+		BaseNsOp:    base,
+		MetricsNsOp: withM,
+		OverheadPct: 100 * (withM - base) / base,
+		Budget:      5,
+	}
+	rec.Pass = rec.OverheadPct < rec.Budget
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchmetrics:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmetrics:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("base %.0f ns/op, with metrics %.0f ns/op: overhead %.2f%% (budget %.0f%%, pass=%v) -> %s\n",
+		rec.BaseNsOp, rec.MetricsNsOp, rec.OverheadPct, rec.Budget, rec.Pass, *out)
+	if !rec.Pass {
+		os.Exit(1)
+	}
+}
+
+func goVersion() string {
+	out, err := exec.Command("go", "env", "GOVERSION").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return string(regexp.MustCompile(`\s+`).ReplaceAll(out, nil))
+}
