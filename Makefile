@@ -1,12 +1,15 @@
 # Developer entry points. `make check` is the gate a change must pass;
 # `make bench-metrics` regenerates BENCH_metrics.json, the tracked
-# record of the metrics registry's hot-loop overhead (< 5% budget).
+# record of the metrics registry's hot-loop overhead (< 5% budget);
+# `make bench-runner` regenerates BENCH_runner.json, the tracked
+# sequential-vs-parallel record of the experiment runner (byte-identical
+# metrics required, >= 2x speedup required on >= 4 cores).
 
 GO ?= go
 
-.PHONY: check build test vet race bench bench-metrics
+.PHONY: check build test vet race bench bench-metrics bench-runner docs
 
-check: vet build race
+check: vet build race docs
 
 vet:
 	$(GO) vet ./...
@@ -28,3 +31,16 @@ bench:
 # below the effect; bump it locally if the two runs look unstable.
 bench-metrics:
 	$(GO) run ./tools/benchmetrics -benchtime 5x -count 3 -o BENCH_metrics.json
+
+# Run the same attack sweep at -jobs 1 and -jobs <cores>, verify the
+# metrics exports are byte-identical, and write the wall-clock record.
+bench-runner:
+	$(GO) run ./tools/benchmetrics -runner -runs 100 -o BENCH_runner.json
+
+# Documentation gate: vet, formatting, and doc coverage of the
+# experiment surface (every exported symbol in the runner, attacks and
+# report packages must carry a doc comment — godoc is the reference
+# documentation the experiments guide links into).
+docs: vet
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -l:"; echo "$$out"; exit 1; fi
+	$(GO) run ./tools/doccheck ./internal/runner ./internal/attacks ./internal/report

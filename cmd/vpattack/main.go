@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -29,6 +30,7 @@ func main() {
 		channel    = flag.String("channel", "timing-window", "channel: timing-window, persistent or volatile")
 		predKind   = flag.String("predictor", "lvp", "none, lvp, vtage, stride, stride-2d, fcm, oracle-lvp, oracle-vtage")
 		runs       = flag.Int("runs", 100, "trials per case (paper: 100)")
+		jobs       = flag.Int("jobs", runtime.NumCPU(), "concurrent trials (1 = sequential legacy path; results are identical at any value)")
 		conf       = flag.Int("confidence", 4, "VPS confidence number")
 		seed       = flag.Int64("seed", 1, "base RNG seed")
 		table3     = flag.Bool("table3", false, "reproduce Table III for the chosen predictor")
@@ -56,6 +58,7 @@ func main() {
 		Confidence: *conf,
 		Runs:       *runs,
 		Seed:       *seed,
+		Jobs:       *jobs,
 		UsePID:     *usePID,
 		Prefetch:   *prefetch,
 		Replay:     *replay,
@@ -96,6 +99,7 @@ func main() {
 			man.Config["variant"] = *variant
 			man.Config["channel"] = *channel
 			man.Config["runs"] = strconv.Itoa(*runs)
+			man.Config["jobs"] = strconv.Itoa(*jobs)
 			man.Config["confidence"] = strconv.Itoa(*conf)
 			man.TTrajectory = ttraj
 			man.Finish(reg, start)

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -27,6 +28,7 @@ func main() {
 		attackName = flag.String("attack", "", "restrict the sweep to one category")
 		maxWindow  = flag.Int("maxwindow", 10, "largest R-type window to sweep")
 		runs       = flag.Int("runs", 60, "trials per case")
+		jobs       = flag.Int("jobs", runtime.NumCPU(), "concurrent trials (1 = sequential legacy path; results are identical at any value)")
 		seed       = flag.Int64("seed", 1, "base RNG seed")
 
 		metricsPath  = flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
@@ -37,7 +39,7 @@ func main() {
 		*doSweep, *doMatrix = true, true
 	}
 
-	base := attacks.Options{Channel: core.TimingWindow, Runs: *runs, Seed: *seed}
+	base := attacks.Options{Channel: core.TimingWindow, Runs: *runs, Seed: *seed, Jobs: *jobs}
 	var reg *metrics.Registry
 	if *metricsPath != "" || *manifestPath != "" {
 		reg = metrics.NewRegistry()
@@ -118,6 +120,7 @@ func main() {
 			man.Config["matrix"] = strconv.FormatBool(*doMatrix)
 			man.Config["maxwindow"] = strconv.Itoa(*maxWindow)
 			man.Config["runs"] = strconv.Itoa(*runs)
+			man.Config["jobs"] = strconv.Itoa(*jobs)
 			man.Finish(reg, start)
 			if err := man.WriteFile(*manifestPath); err != nil {
 				fmt.Fprintln(os.Stderr, "vpdefense:", err)

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -25,6 +26,7 @@ func main() {
 	var (
 		fig  = flag.Int("fig", 5, "figure to regenerate: 5, 7 or 8")
 		runs = flag.Int("runs", 100, "trials per case (paper: 100)")
+		jobs = flag.Int("jobs", runtime.NumCPU(), "concurrent trials (1 = sequential legacy path; results are identical at any value)")
 		seed = flag.Int64("seed", 1, "RNG seed")
 		csv  = flag.Bool("csv", false, "emit CSV series instead of ASCII plots")
 		svg  = flag.String("svg", "", "write SVG panels to files with this prefix (e.g. -svg fig5)")
@@ -43,9 +45,9 @@ func main() {
 	var err error
 	switch *fig {
 	case 5:
-		err = distributionFigure(core.TrainTest, *runs, *seed, *csv, *svg, reg)
+		err = distributionFigure(core.TrainTest, *runs, *jobs, *seed, *csv, *svg, reg)
 	case 8:
-		err = distributionFigure(core.TestHit, *runs, *seed, *csv, *svg, reg)
+		err = distributionFigure(core.TestHit, *runs, *jobs, *seed, *csv, *svg, reg)
 	case 7:
 		err = rsaFigure(*seed, *csv, *svg)
 	default:
@@ -66,6 +68,7 @@ func main() {
 			man := metrics.NewManifest("vpfigures", *seed)
 			man.Config["fig"] = strconv.Itoa(*fig)
 			man.Config["runs"] = strconv.Itoa(*runs)
+			man.Config["jobs"] = strconv.Itoa(*jobs)
 			man.Finish(reg, start)
 			if err := man.WriteFile(*manifestPath); err != nil {
 				fmt.Fprintln(os.Stderr, "vpfigures:", err)
@@ -77,7 +80,7 @@ func main() {
 
 // distributionFigure renders the four panels of Fig. 5 (Train+Test) or
 // Fig. 8 (Test+Hit): {timing-window, persistent} × {no VP, LVP}.
-func distributionFigure(cat core.Category, runs int, seed int64, csv bool, svgPrefix string, reg *metrics.Registry) error {
+func distributionFigure(cat core.Category, runs, jobs int, seed int64, csv bool, svgPrefix string, reg *metrics.Registry) error {
 	figName := "Fig. 5 (Train + Test)"
 	labels := []string{"mapped index", "unmapped index"}
 	if cat == core.TestHit {
@@ -89,7 +92,7 @@ func distributionFigure(cat core.Category, runs int, seed int64, csv bool, svgPr
 	for _, ch := range []core.Channel{core.TimingWindow, core.Persistent} {
 		for _, pk := range []attacks.PredictorKind{attacks.NoVP, attacks.LVP} {
 			r, err := attacks.Run(cat, attacks.Options{
-				Predictor: pk, Channel: ch, Runs: runs, Seed: seed, Metrics: reg,
+				Predictor: pk, Channel: ch, Runs: runs, Seed: seed, Jobs: jobs, Metrics: reg,
 			})
 			if err != nil {
 				return err

@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"vpsec/internal/attacks"
@@ -23,6 +24,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base RNG seed")
 		pred    = flag.String("predictor", "lvp", "predictor under attack: lvp, vtage, stride")
 		quick   = flag.Bool("quick", false, "skip the defense sweeps and matrix")
+		jobs    = flag.Int("jobs", runtime.NumCPU(), "concurrent trials per evaluation (1 = sequential legacy path; results are identical at any value)")
 		asJSON  = flag.Bool("json", false, "emit JSON instead of Markdown")
 		outFile = flag.String("o", "", "write to a file instead of stdout")
 
@@ -37,6 +39,7 @@ func main() {
 		Seed:        *seed,
 		Predictor:   attacks.PredictorKind(*pred),
 		Quick:       *quick,
+		Jobs:        *jobs,
 	}
 	var reg *metrics.Registry
 	if *metricsPath != "" || *manifestPath != "" {
@@ -61,6 +64,7 @@ func main() {
 		man.Config["runs"] = fmt.Sprint(*runs)
 		man.Config["defense-runs"] = fmt.Sprint(*defRuns)
 		man.Config["quick"] = fmt.Sprint(*quick)
+		man.Config["jobs"] = fmt.Sprint(*jobs)
 		man.Finish(reg, start)
 		if err := man.WriteFile(*manifestPath); err != nil {
 			fmt.Fprintln(os.Stderr, "vpreport:", err)

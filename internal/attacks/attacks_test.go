@@ -8,7 +8,10 @@ import (
 )
 
 // testOpt returns fast-but-stable options for CI: 25 runs per case is
-// plenty at our signal-to-noise ratio (the paper used 100).
+// plenty at our signal-to-noise ratio (the paper used 100). Jobs is
+// left 0, so trials fan out over runtime.NumCPU() runner workers —
+// byte-identical to a sequential run (TestRunJobsDeterminism checks
+// exactly that) but faster on multi-core CI.
 func testOpt(ch core.Channel, pk PredictorKind) Options {
 	return Options{Predictor: pk, Channel: ch, Runs: 25, Seed: 1234}
 }

@@ -3,6 +3,14 @@
 // plus the measurement harness that reproduces the paper's evaluation:
 // timing distributions (Figs. 5 and 8), p-value attack decisions, and
 // transmission rates (Table III).
+//
+// Every evaluation entry point (Run, RunVariant, RunTrainTestEviction,
+// RunVolatileSMT) executes Options.Runs independent mapped/unmapped
+// trial pairs, each on a fresh machine seeded from the trial index,
+// and fans them over internal/runner's worker pool (Options.Jobs;
+// default all cores). Results are byte-identical at any worker count —
+// the determinism contract in DESIGN.md §8. End-to-end recipes for
+// each paper figure live in docs/EXPERIMENTS-GUIDE.md.
 package attacks
 
 import (
@@ -61,11 +69,28 @@ type Options struct {
 	Confidence int // the paper's confidence number; 0 means 4
 	Channel    core.Channel
 	Defense    DefenseConfig
-	Runs       int   // trials per case; 0 means 100 (as in the paper)
-	Seed       int64 // base RNG seed; trials use Seed+trial
-	UsePID     bool  // index the predictor with the pid (Sec. V-B ablation)
-	Prefetch   bool  // enable the next-line prefetcher ablation
-	Replay     bool  // selective-replay recovery instead of full squash
+
+	// Runs is the number of independent trials per case (one mapped
+	// and one unmapped trial each, every trial on a fresh machine).
+	// 0 means 100, the paper's Sec. IV-D sample size.
+	Runs int
+
+	// Seed is the base RNG seed. Trial i derives its machine seed as
+	// Seed + 4*i + 1 for the unmapped case and Seed + 4*i + 3 for the
+	// mapped case — a pure function of (Seed, trial index), which is
+	// what lets trials run in parallel without changing any result
+	// (see internal/runner and DESIGN.md §8).
+	Seed int64
+
+	// Jobs bounds how many trials are simulated concurrently, fanned
+	// out by internal/runner. 0 means runtime.NumCPU(); 1 runs the
+	// legacy sequential loop. Results — observations, statistics and
+	// metrics exports — are byte-identical at every value.
+	Jobs int
+
+	UsePID   bool // index the predictor with the pid (Sec. V-B ablation)
+	Prefetch bool // enable the next-line prefetcher ablation
+	Replay   bool // selective-replay recovery instead of full squash
 
 	// FPC, when > 1, gives the LVP/VTAGE under attack forward-
 	// probabilistic confidence counters (increment rate 1/FPC, as in
@@ -91,9 +116,18 @@ type Options struct {
 	// Rate model: one secret bit is transmitted per trial, and the
 	// sender/receiver synchronization (the PoCs' sleep()) costs one
 	// scheduling epoch. Rate = ClockHz / (trial cycles + SyncEpoch).
-	ClockHz    float64 // 0 means 3 GHz
-	SyncEpoch  float64 // cycles per sync epoch; 0 means 330,000 (~110 µs)
-	NoSyncCost bool    // report the raw per-trial rate instead
+
+	// ClockHz converts simulated cycles to wall-clock time for the
+	// transmission-rate model; 0 means 3 GHz.
+	ClockHz float64
+
+	// SyncEpoch is the per-trial synchronization cost in cycles added
+	// to the rate denominator; 0 means 330,000 (~110 µs at 3 GHz).
+	SyncEpoch float64
+
+	// NoSyncCost drops SyncEpoch from the rate denominator, reporting
+	// the raw per-trial transmission rate instead.
+	NoSyncCost bool
 
 	Noise cpu.Noise // zero value means the default jitter
 
@@ -170,7 +204,10 @@ const (
 )
 
 // env is one trial's machine: fresh caches, predictor and RNG, so the
-// paper's 100 runs are independent samples.
+// paper's 100 runs are independent samples. The freshness is also what
+// makes trials embarrassingly parallel — internal/runner simulates
+// Options.Jobs of these machines concurrently (default
+// runtime.NumCPU()), and no state crosses from one env to another.
 type env struct {
 	m       *cpu.Machine
 	opt     *Options

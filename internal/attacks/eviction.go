@@ -1,6 +1,8 @@
 package attacks
 
 import (
+	"context"
+
 	"vpsec/internal/isa"
 	"vpsec/internal/stats"
 )
@@ -125,32 +127,18 @@ func (e *env) trialTrainTestEviction(mapped bool) (float64, error) {
 }
 
 // RunTrainTestEviction evaluates the eviction-based Train+Test over
-// opt.Runs trials per case.
+// opt.Runs trials per case. Trials run opt.Jobs at a time (see
+// Options.Jobs); the result is byte-identical at any worker count.
 func RunTrainTestEviction(opt Options) (CaseResult, error) {
 	opt.setDefaults()
 	res := CaseResult{Category: "Train + Test (eviction)", Channel: opt.Channel, Opt: opt}
-	for i := 0; i < opt.Runs; i++ {
-		for _, mapped := range []bool{true, false} {
-			seed := opt.Seed + int64(i)*4 + 1
-			if mapped {
-				seed += 2
-			}
-			e, err := newEnv(&opt, seed)
-			if err != nil {
-				return res, err
-			}
+	_, err := runCaseTrials(context.Background(), &opt, &res, true,
+		func(e *env, mapped bool) (float64, uint64, error) {
 			obs, err := e.trialTrainTestEviction(mapped)
-			if err != nil {
-				return res, err
-			}
-			if mapped {
-				res.Mapped = append(res.Mapped, obs)
-			} else {
-				res.Unmapped = append(res.Unmapped, obs)
-			}
-			e.recordTrial(mapped, obs, 0)
-		}
-		res.appendTrajectory()
+			return obs, 0, err
+		})
+	if err != nil {
+		return res, err
 	}
 	if err := res.finalizeStats(); err != nil {
 		return res, err

@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"fmt"
 
 	"vpsec/internal/core"
@@ -50,8 +51,15 @@ func (r CaseResult) Effective() bool { return r.P < 0.05 }
 
 // Run evaluates one attack category over one channel per opt,
 // executing opt.Runs independent trials of the mapped and unmapped
-// cases on fresh machines.
+// cases on fresh machines. Trials run opt.Jobs at a time (see
+// Options.Jobs); the result is byte-identical at any worker count.
 func Run(cat core.Category, opt Options) (CaseResult, error) {
+	return RunContext(context.Background(), cat, opt)
+}
+
+// RunContext is Run with cancellation: ctx aborts in-flight trials and
+// surfaces ctx.Err().
+func RunContext(ctx context.Context, cat core.Category, opt Options) (CaseResult, error) {
 	if err := opt.Validate(); err != nil {
 		return CaseResult{}, err
 	}
@@ -60,30 +68,12 @@ func Run(cat core.Category, opt Options) (CaseResult, error) {
 		return CaseResult{}, fmt.Errorf("attacks: %v has no %v variant", cat, opt.Channel)
 	}
 	res := CaseResult{Category: cat, Channel: opt.Channel, Opt: opt}
-	var totalCycles float64
-	for i := 0; i < opt.Runs; i++ {
-		for _, mapped := range []bool{true, false} {
-			seed := opt.Seed + int64(i)*4 + 1
-			if mapped {
-				seed += 2
-			}
-			e, err := newEnv(&opt, seed)
-			if err != nil {
-				return res, err
-			}
-			obs, cyc, err := e.trial(cat, mapped, opt.Channel)
-			if err != nil {
-				return res, err
-			}
-			totalCycles += float64(cyc)
-			if mapped {
-				res.Mapped = append(res.Mapped, obs)
-			} else {
-				res.Unmapped = append(res.Unmapped, obs)
-			}
-			e.recordTrial(mapped, obs, cyc)
-		}
-		res.appendTrajectory()
+	totalCycles, err := runCaseTrials(ctx, &opt, &res, true,
+		func(e *env, mapped bool) (float64, uint64, error) {
+			return e.trial(cat, mapped, opt.Channel)
+		})
+	if err != nil {
+		return res, err
 	}
 	t, err := stats.WelchTTest(res.Mapped, res.Unmapped)
 	if err != nil {

@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"fmt"
 
 	"vpsec/internal/core"
@@ -204,45 +205,26 @@ func RunTestHitVolatileSMT(opt Options) (CaseResult, error) {
 // RunVolatileSMT evaluates the SMT co-runner volatile channel for the
 // categories with an SMT variant (Test+Hit, Train+Test and Fill Up)
 // over opt.Runs trials per case and returns the standard case result.
+// Trials run opt.Jobs at a time (see Options.Jobs); the result is
+// byte-identical at any worker count.
 func RunVolatileSMT(cat core.Category, opt Options) (CaseResult, error) {
 	opt.setDefaults()
 	opt.Channel = core.Volatile
 	res := CaseResult{Category: cat, Channel: core.Volatile, Opt: opt}
-	var totalCycles float64
-	for i := 0; i < opt.Runs; i++ {
-		for _, mapped := range []bool{true, false} {
-			seed := opt.Seed + int64(i)*4 + 1
-			if mapped {
-				seed += 2
-			}
-			e, err := newEnv(&opt, seed)
-			if err != nil {
-				return res, err
-			}
-			var obs float64
-			var cyc uint64
-			switch cat {
-			case core.TestHit:
-				obs, cyc, err = e.trialTestHitVolatileSMT(mapped)
-			case core.TrainTest:
-				obs, cyc, err = e.trialTrainTestVolatileSMT(mapped)
-			case core.FillUp:
-				obs, cyc, err = e.trialFillUpVolatileSMT(mapped)
-			default:
-				return res, fmt.Errorf("attacks: %v has no SMT volatile variant", cat)
-			}
-			if err != nil {
-				return res, err
-			}
-			totalCycles += float64(cyc)
-			if mapped {
-				res.Mapped = append(res.Mapped, obs)
-			} else {
-				res.Unmapped = append(res.Unmapped, obs)
-			}
-			e.recordTrial(mapped, obs, cyc)
-		}
-		res.appendTrajectory()
+	var trial func(e *env, mapped bool) (float64, uint64, error)
+	switch cat {
+	case core.TestHit:
+		trial = (*env).trialTestHitVolatileSMT
+	case core.TrainTest:
+		trial = (*env).trialTrainTestVolatileSMT
+	case core.FillUp:
+		trial = (*env).trialFillUpVolatileSMT
+	default:
+		return res, fmt.Errorf("attacks: %v has no SMT volatile variant", cat)
+	}
+	totalCycles, err := runCaseTrials(context.Background(), &opt, &res, true, trial)
+	if err != nil {
+		return res, err
 	}
 	t, err := stats.WelchTTest(res.Mapped, res.Unmapped)
 	if err != nil {

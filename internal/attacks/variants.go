@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"context"
 	"fmt"
 
 	"vpsec/internal/core"
@@ -168,35 +169,21 @@ func (e *env) variantTrial(v core.Variant, mapped bool) (float64, error) {
 }
 
 // RunVariant evaluates one specific Table II pattern over the
-// timing-window channel.
+// timing-window channel. Trials run opt.Jobs at a time (see
+// Options.Jobs); the result is byte-identical at any worker count.
 func RunVariant(v core.Variant, opt Options) (CaseResult, error) {
 	opt.setDefaults()
 	opt.Channel = core.TimingWindow
 	res := CaseResult{Category: v.Category, Channel: core.TimingWindow, Opt: opt}
-	var totalCycles float64
-	for i := 0; i < opt.Runs; i++ {
-		for _, mapped := range []bool{true, false} {
-			seed := opt.Seed + int64(i)*4 + 1
-			if mapped {
-				seed += 2
-			}
-			e, err := newEnv(&opt, seed)
-			if err != nil {
-				return res, err
-			}
+	totalCycles, err := runCaseTrials(context.Background(), &opt, &res, false,
+		func(e *env, mapped bool) (float64, uint64, error) {
 			obs, err := e.variantTrial(v, mapped)
-			if err != nil {
-				return res, err
-			}
 			// Each trial runs on a fresh machine, so the machine's cycle
 			// counter is the trial's total simulated time.
-			totalCycles += float64(e.m.Cycle)
-			if mapped {
-				res.Mapped = append(res.Mapped, obs)
-			} else {
-				res.Unmapped = append(res.Unmapped, obs)
-			}
-		}
+			return obs, e.m.Cycle, err
+		})
+	if err != nil {
+		return res, err
 	}
 	t, err := stats.WelchTTest(res.Mapped, res.Unmapped)
 	if err != nil {

@@ -244,6 +244,79 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return h
 }
 
+// Merge folds src's metrics into r: counters add, histograms merge
+// bucket-wise, gauges take src's value (last write wins, exactly as if
+// src's publishers had written into r directly). Names missing from r
+// are registered with src's help text; names present keep r's help, so
+// a merge never rewrites first-registration metadata. Histogram bounds
+// must agree — a shape mismatch panics, the same programmer-error
+// policy as register.
+//
+// Merge is the aggregation half of the parallel experiment runner
+// (internal/runner): each worker records trials into a private
+// registry and the sweep barrier folds the workers back into the
+// shared one. Counter adds and histogram merges are commutative — and
+// exact, because every simulator observation is integral and far below
+// 2^53 — so the merged totals are independent of worker count and
+// merge order. Gauges are not commutative; callers that need
+// totals-derived gauges (cpu.ipc and friends) must recompute them
+// from the merged counters afterwards, which is what the runner does.
+func (r *Registry) Merge(src *Registry) {
+	if src == nil || src == r {
+		return
+	}
+	type histState struct {
+		bounds []float64
+		counts []uint64
+		sum    float64
+		count  uint64
+	}
+	src.mu.Lock()
+	names := make([]string, 0, len(src.kinds))
+	for n := range src.kinds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	kinds := make(map[string]kind, len(names))
+	help := make(map[string]string, len(names))
+	counters := make(map[string]uint64)
+	gauges := make(map[string]float64)
+	hists := make(map[string]histState)
+	for _, n := range names {
+		kinds[n] = src.kinds[n]
+		help[n] = src.help[n]
+		switch src.kinds[n] {
+		case kindCounter:
+			counters[n] = src.counters[n].v
+		case kindGauge:
+			gauges[n] = src.gauges[n].v
+		case kindHistogram:
+			h := src.hists[n]
+			hists[n] = histState{
+				bounds: append([]float64(nil), h.bounds...),
+				counts: append([]uint64(nil), h.counts...),
+				sum:    h.sum,
+				count:  h.count,
+			}
+		}
+	}
+	src.mu.Unlock()
+
+	// Apply in sorted order so any registration panic (kind or
+	// Prometheus-name collision) is deterministic.
+	for _, n := range names {
+		switch kinds[n] {
+		case kindCounter:
+			r.Counter(n, help[n]).Add(counters[n])
+		case kindGauge:
+			r.Gauge(n, help[n]).Set(gauges[n])
+		case kindHistogram:
+			h := hists[n]
+			r.Histogram(n, help[n], h.bounds).Merge(h.counts, h.sum, h.count)
+		}
+	}
+}
+
 // Names returns every registered name in sorted order — the
 // deterministic iteration order all exporters use.
 func (r *Registry) Names() []string {

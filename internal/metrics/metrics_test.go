@@ -304,3 +304,86 @@ func TestManifestFinish(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMerge checks the fold semantics: counters add, histograms merge
+// bucket-wise, gauges take the source value, and names new to the
+// destination arrive with the source's help text.
+func TestMerge(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("cpu.cycles", "simulated cycles").Add(10)
+	dst.Gauge("cpu.ipc", "ipc").Set(0.25)
+	dst.Histogram("mem.l1d.latency", "lat", []float64{10, 100}).Observe(5)
+
+	src := NewRegistry()
+	src.Counter("cpu.cycles", "other help").Add(32)
+	src.Counter("mem.l1d.hits", "cache hits").Add(7)
+	src.Gauge("cpu.ipc", "ipc").Set(0.75)
+	h := src.Histogram("mem.l1d.latency", "lat", []float64{10, 100})
+	h.Observe(50)
+	h.Observe(500)
+
+	dst.Merge(src)
+	if got := dst.Counter("cpu.cycles", "").Value(); got != 42 {
+		t.Errorf("merged counter = %d, want 42", got)
+	}
+	if got := dst.Counter("mem.l1d.hits", "").Value(); got != 7 {
+		t.Errorf("new counter = %d, want 7", got)
+	}
+	if got := dst.Gauge("cpu.ipc", "").Value(); got != 0.75 {
+		t.Errorf("merged gauge = %v, want the source value 0.75", got)
+	}
+	if got := dst.Help("cpu.cycles"); got != "simulated cycles" {
+		t.Errorf("help rewritten to %q; first registration must win", got)
+	}
+	if got := dst.Help("mem.l1d.hits"); got != "cache hits" {
+		t.Errorf("new name help = %q, want the source's", got)
+	}
+	mh := dst.Histogram("mem.l1d.latency", "", nil)
+	if mh.Count() != 3 || mh.Sum() != 555 {
+		t.Errorf("merged histogram count=%d sum=%v, want 3/555", mh.Count(), mh.Sum())
+	}
+	_, counts := mh.Buckets()
+	if counts[0] != 1 || counts[1] != 1 || counts[2] != 1 {
+		t.Errorf("merged buckets = %v, want [1 1 1]", counts)
+	}
+}
+
+// TestMergeCommutative: two worker registries merged in either order
+// produce byte-identical JSON — the property the parallel runner's
+// barrier relies on.
+func TestMergeCommutative(t *testing.T) {
+	worker := func(n uint64) *Registry {
+		r := NewRegistry()
+		r.Counter("attacks.trials", "t").Add(n)
+		r.Histogram("attacks.obs.mapped", "o", []float64{100, 200}).Observe(float64(50 * n))
+		return r
+	}
+	a, b := worker(3), worker(5)
+	ab, ba := NewRegistry(), NewRegistry()
+	ab.Merge(a)
+	ab.Merge(b)
+	ba.Merge(b)
+	ba.Merge(a)
+	j1, err := ab.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := ba.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Errorf("merge order changed the export:\n%s\nvs\n%s", j1, j2)
+	}
+}
+
+// TestMergeNilAndSelf: degenerate merges are no-ops.
+func TestMergeNilAndSelf(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cpu.cycles", "").Add(9)
+	r.Merge(nil)
+	r.Merge(r)
+	if got := r.Counter("cpu.cycles", "").Value(); got != 9 {
+		t.Errorf("degenerate merge changed the counter to %d", got)
+	}
+}

@@ -30,6 +30,12 @@ type Config struct {
 	// smoke runs.
 	Quick bool
 
+	// Jobs bounds how many trials each attack evaluation simulates
+	// concurrently (attacks.Options.Jobs): 0 means runtime.NumCPU(),
+	// 1 the legacy sequential path. The report's numbers are
+	// byte-identical at every value.
+	Jobs int
+
 	// Metrics, when non-nil, receives the counters of every attack
 	// evaluation the report runs (see internal/metrics). Excluded from
 	// the report's own JSON.
@@ -136,7 +142,7 @@ func Generate(cfg Config, now time.Time) (*Report, error) {
 	}
 
 	// Table III.
-	baseOpt := attacks.Options{Runs: cfg.Runs, Seed: cfg.Seed, Metrics: cfg.Metrics}
+	baseOpt := attacks.Options{Runs: cfg.Runs, Seed: cfg.Seed, Jobs: cfg.Jobs, Metrics: cfg.Metrics}
 	rows, err := attacks.TableIII(cfg.Predictor, baseOpt)
 	if err != nil {
 		return nil, err
@@ -177,7 +183,7 @@ func Generate(cfg Config, now time.Time) (*Report, error) {
 
 	// Defenses.
 	if !cfg.Quick {
-		dOpt := attacks.Options{Channel: core.TimingWindow, Runs: cfg.DefenseRuns, Seed: cfg.Seed, Metrics: cfg.Metrics}
+		dOpt := attacks.Options{Channel: core.TimingWindow, Runs: cfg.DefenseRuns, Seed: cfg.Seed, Jobs: cfg.Jobs, Metrics: cfg.Metrics}
 		tt, err := defense.SweepRWindow(core.TrainTest, 5, dOpt)
 		if err != nil {
 			return nil, err
@@ -195,7 +201,7 @@ func Generate(cfg Config, now time.Time) (*Report, error) {
 		r.MinWindowTrainTest = defense.MinimalSecureWindow(tt)
 		r.MinWindowTestHit = defense.MinimalSecureWindow(th)
 
-		mOpt := attacks.Options{Runs: cfg.DefenseRuns, Seed: cfg.Seed, Metrics: cfg.Metrics}
+		mOpt := attacks.Options{Runs: cfg.DefenseRuns, Seed: cfg.Seed, Jobs: cfg.Jobs, Metrics: cfg.Metrics}
 		cells, err := defense.Matrix(mOpt, nil)
 		if err != nil {
 			return nil, err
@@ -217,7 +223,7 @@ func Generate(cfg Config, now time.Time) (*Report, error) {
 		}
 		ev, err := attacks.RunTrainTestEviction(attacks.Options{
 			Predictor: cfg.Predictor, Channel: core.TimingWindow,
-			Runs: cfg.Runs, Seed: cfg.Seed, Metrics: cfg.Metrics,
+			Runs: cfg.Runs, Seed: cfg.Seed, Jobs: cfg.Jobs, Metrics: cfg.Metrics,
 		})
 		if err := add("Train+Test via eviction sets (no CLFLUSH)", ev, err); err != nil {
 			return nil, err
@@ -239,14 +245,14 @@ func Generate(cfg Config, now time.Time) (*Report, error) {
 			return nil, err
 		}
 		smt, err := attacks.RunTestHitVolatileSMT(attacks.Options{
-			Predictor: cfg.Predictor, Runs: cfg.Runs, Seed: cfg.Seed, Metrics: cfg.Metrics,
+			Predictor: cfg.Predictor, Runs: cfg.Runs, Seed: cfg.Seed, Jobs: cfg.Jobs, Metrics: cfg.Metrics,
 		})
 		if err := add("Test+Hit volatile via SMT co-runner", smt, err); err != nil {
 			return nil, err
 		}
 		s2d, err := attacks.Run(core.TrainTest, attacks.Options{
 			Predictor: attacks.Stride2D, Channel: core.TimingWindow,
-			Runs: cfg.Runs, Seed: cfg.Seed, Metrics: cfg.Metrics,
+			Runs: cfg.Runs, Seed: cfg.Seed, Jobs: cfg.Jobs, Metrics: cfg.Metrics,
 		})
 		if err := add("Train+Test on 2-delta stride predictor", s2d, err); err != nil {
 			return nil, err

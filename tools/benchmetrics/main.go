@@ -1,8 +1,19 @@
-// Command benchmetrics measures the metrics registry's overhead on the
+// Command benchmetrics writes the repo's benchmark acceptance records.
+//
+// The default mode measures the metrics registry's overhead on the
 // simulator hot loop: it runs BenchmarkSimulator (bare machine) and
 // BenchmarkSimulatorMetrics (registry attached) and writes the
-// comparison to a JSON record (BENCH_metrics.json in the repo root).
-// The acceptance budget is overhead_pct < 5.
+// comparison to BENCH_metrics.json. The acceptance budget is
+// overhead_pct < 5.
+//
+// The -runner mode measures the parallel experiment runner
+// (internal/runner): it executes the same attack sweep sequentially
+// (-jobs 1) and in parallel (-jobs = cores), verifies the two metrics
+// exports are byte-identical, and writes the wall-clock comparison to
+// BENCH_runner.json. The acceptance budget is a >= 2x speedup when at
+// least 4 cores are available (on smaller machines the record keeps
+// the honest numbers and passes on identity alone — there is nothing
+// to parallelize over).
 package main
 
 import (
@@ -34,8 +45,21 @@ var lineRE = regexp.MustCompile(`^(BenchmarkSimulator(?:Metrics)?)(?:-\d+)?\s+\d
 func main() {
 	benchtime := flag.String("benchtime", "5x", "go test -benchtime value")
 	count := flag.Int("count", 3, "go test -count value; the best run of each side is compared")
-	out := flag.String("o", "BENCH_metrics.json", "output file")
+	runner := flag.Bool("runner", false, "benchmark the parallel experiment runner instead (sequential vs parallel sweep)")
+	runs := flag.Int("runs", 40, "-runner mode: trials per case in the benchmarked sweep")
+	out := flag.String("o", "", "output file (default BENCH_metrics.json, or BENCH_runner.json with -runner)")
 	flag.Parse()
+
+	if *runner {
+		if *out == "" {
+			*out = "BENCH_runner.json"
+		}
+		runnerMode(*runs, *out)
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_metrics.json"
+	}
 
 	cmd := exec.Command("go", "test", "-run", "^$",
 		"-bench", "^(BenchmarkSimulator|BenchmarkSimulatorMetrics)$",

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"vpsec/internal/attacks"
+	"vpsec/internal/core"
+	"vpsec/internal/metrics"
+)
+
+// RunnerRecord is the schema of BENCH_runner.json: one sequential
+// (-jobs 1) vs parallel (-jobs = cores) execution of the same attack
+// sweep, with the byte-identity of the two metrics exports checked and
+// the wall-clock ratio recorded.
+type RunnerRecord struct {
+	Date          string  `json:"date"`
+	GoVersion     string  `json:"go_version"`
+	Cores         int     `json:"cores"`
+	Jobs          int     `json:"jobs"` // worker count of the parallel side
+	Runs          int     `json:"runs"` // trials per case in the sweep
+	SeqSeconds    float64 `json:"sequential_seconds"`
+	ParSeconds    float64 `json:"parallel_seconds"`
+	Speedup       float64 `json:"speedup"`
+	Identical     bool    `json:"metrics_identical"` // byte-identical JSON exports
+	SpeedupBudget float64 `json:"speedup_budget"`    // required speedup at >= 4 cores
+	Pass          bool    `json:"pass"`
+}
+
+// sweep runs the benchmark workload — the Table II Train+Test and
+// Test+Hit cells at the given worker count — and returns the metrics
+// export plus the wall-clock time.
+func sweep(jobs, runs int) (string, float64, error) {
+	reg := metrics.NewRegistry()
+	start := time.Now()
+	for _, cat := range []core.Category{core.TrainTest, core.TestHit} {
+		opt := attacks.Options{
+			Predictor: attacks.LVP, Channel: core.TimingWindow,
+			Runs: runs, Seed: 1, Jobs: jobs, Metrics: reg,
+		}
+		if _, err := attacks.Run(cat, opt); err != nil {
+			return "", 0, fmt.Errorf("%v at jobs=%d: %w", cat, jobs, err)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	j, err := reg.Snapshot().JSON()
+	if err != nil {
+		return "", 0, err
+	}
+	return string(j), elapsed, nil
+}
+
+// runnerMode writes BENCH_runner.json (see RunnerRecord) and exits
+// non-zero when the record fails its acceptance criteria.
+func runnerMode(runs int, out string) {
+	cores := runtime.NumCPU()
+	jobs := cores
+	if jobs < 2 {
+		jobs = 2 // still exercise the pool path on single-core machines
+	}
+	seqJSON, seqSec, err := sweep(1, runs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchmetrics:", err)
+		os.Exit(1)
+	}
+	parJSON, parSec, err := sweep(jobs, runs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchmetrics:", err)
+		os.Exit(1)
+	}
+	rec := RunnerRecord{
+		Date:          time.Now().UTC().Format("2006-01-02"),
+		GoVersion:     goVersion(),
+		Cores:         cores,
+		Jobs:          jobs,
+		Runs:          runs,
+		SeqSeconds:    seqSec,
+		ParSeconds:    parSec,
+		Speedup:       seqSec / parSec,
+		Identical:     seqJSON == parJSON,
+		SpeedupBudget: 2,
+	}
+	// The speedup budget only binds when there are enough cores for a
+	// 2x win to be physically possible; identity always binds.
+	rec.Pass = rec.Identical && (rec.Speedup >= rec.SpeedupBudget || cores < 4)
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchmetrics:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmetrics:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sequential %.2fs, parallel (%d jobs, %d cores) %.2fs: speedup %.2fx, identical=%v, pass=%v -> %s\n",
+		rec.SeqSeconds, rec.Jobs, rec.Cores, rec.ParSeconds, rec.Speedup, rec.Identical, rec.Pass, out)
+	if !rec.Pass {
+		os.Exit(1)
+	}
+}

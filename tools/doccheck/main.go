@@ -1,0 +1,171 @@
+// Command doccheck fails when an exported symbol lacks a doc comment.
+// It is the documentation half of `make docs`: godoc is this repo's
+// primary experiment-surface documentation (see docs/EXPERIMENTS-GUIDE.md),
+// so an undocumented exported symbol is a broken doc build, not a
+// style nit.
+//
+// Usage:
+//
+//	doccheck ./internal/runner ./internal/attacks ./internal/report
+//
+// Each argument is a package directory (the ./ prefix is optional).
+// doccheck parses every non-test .go file, requires a doc comment on
+// each exported top-level declaration — types, functions, methods with
+// exported receivers, and each exported name in var/const groups (a
+// group comment covers its members) — plus a package comment, and
+// exits 1 listing every violation as file:line. Struct fields are not
+// gated (json tags and the owning type's comment carry that schema),
+// matching the scope of conventional exported-symbol lint.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <pkg-dir> [pkg-dir...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		dir = strings.TrimPrefix(dir, "./")
+		missing, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(1)
+		}
+		for _, m := range missing {
+			fmt.Println(m)
+		}
+		bad += len(missing)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported symbol(s) without doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory and returns a "file:line:
+// symbol" report for every exported symbol missing a doc comment.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s", filepath.ToSlash(p.Filename), p.Line, what))
+	}
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			for name, f := range pkg.Files {
+				report(f.Package, "package "+pkg.Name+" has no package comment")
+				_ = name
+				break
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				checkDecl(decl, report)
+			}
+		}
+	}
+	return out, nil
+}
+
+// checkDecl reports the exported symbols of one top-level declaration
+// that no doc comment covers.
+func checkDecl(decl ast.Decl, report func(token.Pos, string)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedRecv(d) {
+			return
+		}
+		if d.Doc == nil {
+			report(d.Pos(), "exported function "+funcName(d)+" has no doc comment")
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				if d.Doc == nil && s.Doc == nil {
+					report(s.Pos(), "exported type "+s.Name.Name+" has no doc comment")
+				}
+			case *ast.ValueSpec:
+				// A group comment (`// Predictor kinds.` above a const
+				// block) documents every member, matching godoc's
+				// rendering.
+				if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						report(n.Pos(), "exported value "+n.Name+" has no doc comment")
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedRecv reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the godoc surface).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// funcName renders Func or (Recv).Method for reports.
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	return "(" + recvString(d.Recv.List[0].Type) + ")." + d.Name.Name
+}
+
+// recvString renders a receiver type expression compactly.
+func recvString(t ast.Expr) string {
+	switch x := t.(type) {
+	case *ast.StarExpr:
+		return "*" + recvString(x.X)
+	case *ast.IndexExpr:
+		return recvString(x.X)
+	case *ast.Ident:
+		return x.Name
+	}
+	return "?"
+}
