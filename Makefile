@@ -1,15 +1,32 @@
 # Developer entry points. `make check` is the gate a change must pass;
-# `make bench-metrics` regenerates BENCH_metrics.json, the tracked
-# record of the metrics registry's hot-loop overhead (< 5% budget);
-# `make bench-runner` regenerates BENCH_runner.json, the tracked
-# sequential-vs-parallel record of the experiment runner (byte-identical
-# metrics required, >= 2x speedup required on >= 4 cores).
+# `make diff` runs the full differential-oracle harness (1000 generated
+# programs against the in-order reference model — see DESIGN.md §9);
+# `make fuzz` runs the coverage-guided version of the same harness for
+# a bounded time; `make bench-metrics` regenerates BENCH_metrics.json,
+# the tracked record of the metrics registry's hot-loop overhead (< 5%
+# budget); `make bench-runner` regenerates BENCH_runner.json, the
+# tracked sequential-vs-parallel record of the experiment runner
+# (byte-identical metrics required, >= 2x speedup on >= 4 cores).
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: check build test vet race bench bench-metrics bench-runner docs
+.PHONY: check build test vet race bench bench-metrics bench-runner docs diff fuzz
 
-check: vet build race docs
+check: vet build race diff docs
+
+# Differential oracle: every generated program must commit the same
+# state in the same order as the in-order reference model, on every
+# machine spec. A failure prints the generator seed (a complete
+# reproducer) and a shrunk program.
+diff:
+	$(GO) test ./internal/oracle -run 'TestDiff|TestGolden' -count=1
+
+# Coverage-guided differential fuzzing over (generator seed, machine
+# spec) pairs, time-boxed. The corpus is checked in under
+# internal/oracle/testdata/fuzz.
+fuzz:
+	$(GO) test ./internal/oracle -run '^$$' -fuzz FuzzDiffOracle -fuzztime $(FUZZTIME)
 
 vet:
 	$(GO) vet ./...
@@ -38,9 +55,9 @@ bench-runner:
 	$(GO) run ./tools/benchmetrics -runner -runs 100 -o BENCH_runner.json
 
 # Documentation gate: vet, formatting, and doc coverage of the
-# experiment surface (every exported symbol in the runner, attacks and
-# report packages must carry a doc comment — godoc is the reference
-# documentation the experiments guide links into).
+# experiment surface (every exported symbol in the runner, attacks,
+# report, oracle and progen packages must carry a doc comment — godoc
+# is the reference documentation the experiments guide links into).
 docs: vet
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -l:"; echo "$$out"; exit 1; fi
-	$(GO) run ./tools/doccheck ./internal/runner ./internal/attacks ./internal/report
+	$(GO) run ./tools/doccheck ./internal/runner ./internal/attacks ./internal/report ./internal/oracle ./internal/progen

@@ -1,0 +1,143 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"vpsec/internal/isa"
+	"vpsec/internal/predictor"
+)
+
+// runReplayDiff executes prog on the in-order reference and on a
+// selective-replay machine with a low-confidence LVP, requires that a
+// value misprediction actually occurred, and compares the final
+// architectural registers.
+func runReplayDiff(t *testing.T, prog *isa.Program) (pipe, ref [isa.NumRegs]uint64) {
+	t.Helper()
+	it := isa.NewInterp(prog)
+	if _, err := it.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	lvp, _ := predictor.NewLVP(predictor.LVPConfig{Confidence: 2})
+	m, _ := NewMachine(Config{SelectiveReplay: true}, nil, lvp, rand.New(rand.NewSource(1)))
+	proc, _ := m.NewProcess(1, prog, 0)
+	res, err := m.Run(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyWrong == 0 {
+		t.Fatal("no value misprediction; the probe is broken")
+	}
+	return res.Regs, it.Regs
+}
+
+// TestSelectiveReplayBranchReResolution is the minimal reproducer of a
+// bug the differential oracle (internal/oracle) flushed out: under
+// selective replay, a branch that consumed a mispredicted load value
+// resolves twice. The first resolution (with the speculative value)
+// redirects fetch; after the load verifies wrong, the branch replays
+// and resolves again with the correct value. The old recovery compared
+// the second resolution against the *fetch-time* prediction instead of
+// the path fetch actually followed after the first redirect — so when
+// the corrected direction agreed with the original prediction, the
+// wrong path fetched after the first redirect was never squashed and
+// committed architecturally.
+//
+// A load trained to 1 steers a BNE taken three times; the value then
+// flips to 0, so the final iteration predicts 1 (transiently taken)
+// but must architecturally fall through — which equals the static
+// not-taken prediction, the exact blind spot of the old comparison.
+// Architecturally r5 (fall-through count) must be 1 and r6 (taken
+// count) 3; the buggy pipeline committed r5=0, r6=4.
+func TestSelectiveReplayBranchReResolution(t *testing.T) {
+	b := isa.NewBuilder("branch-replay")
+	b.Word(0x1000, 1)
+	b.MovI(isa.R1, 0x1000)
+	b.MovI(isa.R9, 0) // flip-once flag
+	b.MovI(isa.R14, 1)
+	b.MovI(isa.R3, 0) // i
+	b.MovI(isa.R4, 3) // bound
+	b.Label("loop")
+	b.Flush(isa.R1, 0)
+	b.Fence()
+	b.Load(isa.R2, isa.R1, 0) // trained to 1; mispredicts after the flip
+	b.Bne(isa.R2, isa.R0, "taken")
+	b.AddI(isa.R5, isa.R5, 1) // architectural path after the flip
+	b.Jmp("join")
+	b.Label("taken")
+	b.AddI(isa.R6, isa.R6, 1) // transient path after the flip
+	b.Label("join")
+	b.Fence()
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Blt(isa.R3, isa.R4, "loop")
+	b.Beq(isa.R9, isa.R14, "end")
+	b.MovI(isa.R9, 1)
+	b.Store(isa.R1, 0, isa.R0) // flip the value: 1 -> 0
+	b.Fence()
+	b.MovI(isa.R4, 4) // one more (mispredicting) iteration
+	b.Jmp("loop")
+	b.Label("end")
+	b.Halt()
+	prog := b.MustBuild()
+
+	pipe, ref := runReplayDiff(t, prog)
+	if ref[isa.R5] != 1 || ref[isa.R6] != 3 {
+		t.Fatalf("reference shape off: r5=%d r6=%d, want 1 3", ref[isa.R5], ref[isa.R6])
+	}
+	if pipe != ref {
+		t.Errorf("branch re-resolution: r5=%d r6=%d, want %d %d",
+			pipe[isa.R5], pipe[isa.R6], ref[isa.R5], ref[isa.R6])
+	}
+}
+
+// TestSelectiveReplayJALRReResolution is the indirect-jump twin of the
+// branch re-resolution bug: a JALR whose target register transiently
+// holds a mispredicted load value redirects to the wrong target; on
+// replay with the corrected value — which here equals the fall-through
+// — the old recovery compared against pc+1 and never squashed back.
+func TestSelectiveReplayJALRReResolution(t *testing.T) {
+	b := isa.NewBuilder("jalr-replay")
+	b.MovI(isa.R1, 0x1000)
+	b.MovI(isa.R9, 0)
+	b.MovI(isa.R14, 1)
+	b.MovI(isa.R3, 0)
+	b.MovI(isa.R4, 3)
+	b.Label("loop")
+	b.Flush(isa.R1, 0)
+	b.Fence()
+	loadPC := b.PC()
+	b.Load(isa.R2, isa.R1, 0) // jump target, trained to the "far" path
+	b.Jalr(isa.R0, isa.R2)
+	fallPC := b.PC()
+	b.AddI(isa.R5, isa.R5, 1) // fall-through path (the post-flip target)
+	b.Jmp("join")
+	farPC := b.PC()
+	b.AddI(isa.R6, isa.R6, 1) // far path (the trained target)
+	b.Label("join")
+	b.Fence()
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Blt(isa.R3, isa.R4, "loop")
+	b.Beq(isa.R9, isa.R14, "end")
+	b.MovI(isa.R9, 1)
+	b.MovI(isa.R7, int64(fallPC))
+	b.Store(isa.R1, 0, isa.R7) // flip the target to the fall-through
+	b.Fence()
+	b.MovI(isa.R4, 4)
+	b.Jmp("loop")
+	b.Label("end")
+	b.Halt()
+	prog := b.MustBuild()
+	prog.SetWord(0x1000, uint64(farPC))
+	if fallPC != loadPC+2 {
+		t.Fatalf("layout drifted: load@%d fall@%d", loadPC, fallPC)
+	}
+
+	pipe, ref := runReplayDiff(t, prog)
+	if ref[isa.R5] != 1 || ref[isa.R6] != 3 {
+		t.Fatalf("reference shape off: r5=%d r6=%d, want 1 3", ref[isa.R5], ref[isa.R6])
+	}
+	if pipe != ref {
+		t.Errorf("jalr re-resolution: r5=%d r6=%d, want %d %d",
+			pipe[isa.R5], pipe[isa.R6], ref[isa.R5], ref[isa.R6])
+	}
+}

@@ -1,0 +1,99 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"vpsec/internal/isa"
+)
+
+// Commit describes one architecturally retired instruction: the
+// canonical record the differential oracle (internal/oracle) compares
+// between this pipeline and its in-order reference model. Addresses
+// are virtual, so logs from processes at different physical bases
+// compare equal. Timing never appears in a Commit — two machines with
+// different caches, predictors and latencies must produce identical
+// logs for the same program.
+type Commit struct {
+	PC        int     // instruction index of the retired instruction
+	Op        isa.Op  // opcode
+	WritesReg bool    // an architectural register was written (Dst != R0)
+	Dst       isa.Reg // destination register, when WritesReg
+	Value     uint64  // value written to Dst, when WritesReg
+	Addr      uint64  // virtual data address (LOAD, STORE, FLUSH)
+	StoreVal  uint64  // value stored (STORE)
+	NextPC    int     // instruction index execution continues at
+}
+
+// String renders the commit in the canonical one-line log format used
+// by the golden commit-log tests (byte-for-byte comparable).
+func (c Commit) String() string {
+	s := fmt.Sprintf("pc=%d %s", c.PC, c.Op)
+	if c.WritesReg {
+		s += fmt.Sprintf(" %s=%#x", c.Dst, c.Value)
+	}
+	switch c.Op {
+	case isa.LOAD, isa.FLUSH:
+		s += fmt.Sprintf(" [%#x]", c.Addr)
+	case isa.STORE:
+		s += fmt.Sprintf(" [%#x]=%#x", c.Addr, c.StoreVal)
+	}
+	return s + fmt.Sprintf(" next=%d", c.NextPC)
+}
+
+// ErrInvariant tags microarchitectural invariant violations detected
+// when Config.CheckInvariants is set. Callers (the differential
+// harness's shrinker in particular) use errors.Is to distinguish a
+// genuine pipeline defect from incidental run errors such as the
+// cycle watchdog.
+var ErrInvariant = errors.New("cpu: invariant violation")
+
+// invariantf builds an ErrInvariant-wrapped error.
+func invariantf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrInvariant}, args...)...)
+}
+
+// checkInvariants validates the pipeline's microarchitectural
+// invariants; it runs once per cycle when Config.CheckInvariants is
+// set:
+//
+//   - the ROB holds at most ROBSize entries, in strictly increasing
+//     fetch-sequence order;
+//   - no entry past the waiting state has an unready operand;
+//   - the rename map points at exactly the youngest in-flight writer
+//     of each register (R0 is never renamed);
+//   - commits happen in program order (enforced incrementally in
+//     commit via lastCommitSeq).
+//
+// Squashed instructions never touching architected state is enforced
+// structurally (registers and memory are written only in commit,
+// which only ever retires the ROB head) and differentially (final
+// state equality against the in-order oracle).
+func (p *pipeline) checkInvariants() error {
+	if p.invErr != nil {
+		return p.invErr
+	}
+	if len(p.rob) > p.cfg.ROBSize {
+		return invariantf("ROB holds %d entries, capacity %d", len(p.rob), p.cfg.ROBSize)
+	}
+	var youngest [isa.NumRegs]*entry
+	var lastSeq uint64
+	for i, e := range p.rob {
+		if i > 0 && e.seq <= lastSeq {
+			return invariantf("ROB seq not increasing: %d after %d", e.seq, lastSeq)
+		}
+		lastSeq = e.seq
+		if e.state != stWaiting && (!e.src1.ready || !e.src2.ready) {
+			return invariantf("seq %d (pc=%d %v) past waiting with unready operand", e.seq, e.pc, e.in.Op)
+		}
+		if e.in.Op.WritesDst() && e.in.Dst != isa.R0 {
+			youngest[e.in.Dst] = e
+		}
+	}
+	for r := 1; r < isa.NumRegs; r++ {
+		if p.rename[r] != youngest[r] {
+			return invariantf("rename map stale for r%d", r)
+		}
+	}
+	return nil
+}

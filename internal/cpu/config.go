@@ -62,6 +62,14 @@ type Config struct {
 	// intact — see the ablation tests.
 	SelectiveReplay bool
 
+	// CheckInvariants validates microarchitectural invariants every
+	// cycle (ROB ordering and capacity, rename-map consistency,
+	// in-program-order commit; see checkInvariants in commit.go) and
+	// fails the run with an ErrInvariant-wrapped error on violation.
+	// The differential oracle enables it on every harness run; it is
+	// off by default because the scan is O(ROB) per cycle.
+	CheckInvariants bool
+
 	// BimodalBranch enables a 2-bit bimodal branch direction predictor
 	// (512 counters, PC-indexed) instead of the default static
 	// not-taken policy. The value-predictor attacks are independent of

@@ -38,6 +38,12 @@ type Machine struct {
 	// pipeline events (see internal/trace and cmd/vpsim -pipeview).
 	Tracer *trace.Recorder
 
+	// OnCommit, when non-nil, observes every architecturally retired
+	// instruction in commit order. The differential oracle
+	// (internal/oracle) uses it to capture the canonical commit log;
+	// under RunSMT both hardware threads share the hook.
+	OnCommit func(Commit)
+
 	// metrics, when attached (AttachMetrics), streams ROB occupancy and
 	// publishes run/predictor/memory counters into a registry.
 	metrics *machineMetrics

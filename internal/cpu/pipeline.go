@@ -41,7 +41,7 @@ type entry struct {
 	// Load bookkeeping.
 	addr        uint64 // virtual data address
 	paddr       uint64 // physical address
-	predTaken   bool   // fetch-time direction prediction (conditional branches)
+	nextPC      int    // instruction index fetch followed after this one
 	actual      uint64 // architecturally correct loaded value
 	missLoad    bool   // load being served beyond the L1 (occupies an MSHR)
 	vpsEngaged  bool   // load missed to memory; predictor consulted
@@ -78,6 +78,11 @@ type pipeline struct {
 
 	// 2-bit bimodal direction counters, used when cfg.BimodalBranch.
 	bimodal [512]uint8
+
+	// Invariant-check bookkeeping (Config.CheckInvariants).
+	invErr        error
+	lastCommitSeq uint64
+	committedAny  bool
 
 	res RunResult
 }
@@ -117,6 +122,11 @@ func (p *pipeline) step() (bool, error) {
 	}
 	p.fetch(now)
 	p.m.observeOccupancy(len(p.rob))
+	if p.cfg.CheckInvariants {
+		if err := p.checkInvariants(); err != nil {
+			return false, err
+		}
+	}
 	p.m.Cycle++
 	p.res.Cycles++
 	return p.halted, nil
@@ -169,25 +179,33 @@ func (p *pipeline) finish(now uint64) {
 			if p.cfg.BimodalBranch {
 				p.trainBimodal(e.pc, taken)
 			}
-			if taken != e.predTaken {
+			actual := e.in.Target
+			if !taken {
+				actual = e.pc + 1
+			}
+			// Compare against the path fetch actually followed
+			// (e.nextPC), not the fetch-time prediction: under
+			// selective replay a branch can resolve more than once,
+			// and after its first redirect the fetched path is the
+			// previous resolution.
+			if actual != e.nextPC {
 				p.res.BranchSquash++
-				redirect := e.in.Target
-				if !taken {
-					redirect = e.pc + 1
-				}
-				p.squashAfter(i, redirect, now+p.cfg.BranchPenalty)
+				e.nextPC = actual
+				p.squashAfter(i, actual, now+p.cfg.BranchPenalty)
 				continue
 			}
 			continue
 		}
 		if e.in.Op == isa.JALR {
 			// Indirect jump: the target is the register value, known
-			// only now. Fetch followed the fall-through, so redirect
-			// (and squash) unless the target happens to be pc+1.
+			// only now. Fetch followed e.nextPC (initially the
+			// fall-through; after a redirect, the previous resolved
+			// target), so redirect and squash on any disagreement.
 			p.wake(e) // the link value
 			target := int(e.src1.val)
-			if target != e.pc+1 {
+			if target != e.nextPC {
 				p.res.BranchSquash++
+				e.nextPC = target
 				p.squashAfter(i, target, now+p.cfg.BranchPenalty)
 			}
 			continue
@@ -268,6 +286,25 @@ func (p *pipeline) commit(now uint64) {
 		}
 		if p.rename[e.in.Dst] == e {
 			p.rename[e.in.Dst] = nil
+		}
+		if p.cfg.CheckInvariants {
+			if p.committedAny && e.seq <= p.lastCommitSeq {
+				p.invErr = invariantf("commit out of program order: seq %d after %d", e.seq, p.lastCommitSeq)
+			}
+			p.lastCommitSeq, p.committedAny = e.seq, true
+		}
+		if h := p.m.OnCommit; h != nil {
+			c := Commit{PC: e.pc, Op: e.in.Op, NextPC: e.nextPC}
+			if e.in.Op.WritesDst() && e.in.Dst != isa.R0 {
+				c.WritesReg, c.Dst, c.Value = true, e.in.Dst, e.result
+			}
+			switch e.in.Op {
+			case isa.LOAD, isa.FLUSH:
+				c.Addr = e.addr
+			case isa.STORE:
+				c.Addr, c.StoreVal = e.addr, e.src2.val
+			}
+			h(c)
 		}
 		p.emit(trace.Commit, e, now, "")
 		p.rob = p.rob[1:]
@@ -678,6 +715,7 @@ func (p *pipeline) fetch(now uint64) {
 		case isa.HALT:
 			e.state = stDone
 			p.fetchDone = true
+			p.fetchPC++
 		case isa.NOP:
 			e.state = stDone
 			p.fetchPC++
@@ -685,7 +723,6 @@ func (p *pipeline) fetch(now uint64) {
 			// Direction prediction: static not-taken, or the bimodal
 			// counter when enabled.
 			if p.cfg.BimodalBranch && p.predictTaken(p.fetchPC) {
-				e.predTaken = true
 				p.fetchPC = in.Target
 			} else {
 				p.fetchPC++
@@ -693,6 +730,7 @@ func (p *pipeline) fetch(now uint64) {
 		default:
 			p.fetchPC++
 		}
+		e.nextPC = p.fetchPC
 		p.emit(trace.Fetch, e, now, in.String())
 		p.rob = append(p.rob, e)
 		p.res.Fetched++

@@ -1,0 +1,33 @@
+package oracle
+
+import (
+	"errors"
+	"testing"
+
+	"vpsec/internal/progen"
+)
+
+// FuzzDiffOracle feeds the differential harness from the fuzzer: each
+// input picks a generator seed and a machine spec, and any divergence
+// between the pipeline and the reference model (or a per-cycle
+// invariant violation) is a crash. The checked-in corpus seeds one
+// input per standard spec. Run with `make fuzz`.
+func FuzzDiffOracle(f *testing.F) {
+	specs := Specs()
+	for i := range specs {
+		f.Add(int64(i)+1, int64(i))
+	}
+	f.Fuzz(func(t *testing.T, seed, specIdx int64) {
+		idx := int(specIdx % int64(len(specs)))
+		if idx < 0 {
+			idx += len(specs)
+		}
+		prog := progen.Generate(progen.Default(), seed)
+		err := Diff(prog, specs[idx])
+		if err == nil || errors.Is(err, ErrNotComparable) {
+			return
+		}
+		t.Fatalf("seed %d spec %q: %v\nreproduce: go test ./internal/oracle -run TestDiffOracle -oracle.seed=%d",
+			seed, specs[idx].Name, err, seed)
+	})
+}

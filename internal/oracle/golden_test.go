@@ -1,0 +1,83 @@
+package oracle
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vpsec/internal/asm"
+	"vpsec/internal/isa"
+)
+
+var updateGolden = flag.Bool("oracle.update", false,
+	"rewrite the golden .commitlog files from the current reference model")
+
+// loadGoldenPrograms assembles every testdata/*.vasm program.
+func loadGoldenPrograms(t *testing.T) map[string]*isa.Program {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.vasm"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no golden programs: %v", err)
+	}
+	progs := make(map[string]*isa.Program, len(paths))
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".vasm")
+		p, err := asm.Assemble(name, string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		progs[name] = p
+	}
+	return progs
+}
+
+// TestGoldenCommitLogs pins the reference model's canonical commit log
+// for a few hand-written hazard programs, byte for byte. A diff here
+// means the architectural contract moved — either a deliberate ISA
+// semantics change (rerun with -oracle.update and review the diff) or
+// a bug in the reference model itself.
+func TestGoldenCommitLogs(t *testing.T) {
+	for name, p := range loadGoldenPrograms(t) {
+		res, err := Run(p)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		got := FormatLog(res.Log)
+		golden := filepath.Join("testdata", name+".commitlog")
+		if *updateGolden {
+			if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Errorf("%s: %v (rerun with -oracle.update to create)", name, err)
+			continue
+		}
+		if got != string(want) {
+			t.Errorf("%s: commit log diverged from golden (rerun with -oracle.update if intended)\ngot:\n%s\nwant:\n%s",
+				name, got, want)
+		}
+	}
+}
+
+// TestGoldenPrograms diffs each golden program against the pipeline on
+// every standard spec, so the pinned programs double as fixed
+// regression inputs for the differential harness.
+func TestGoldenPrograms(t *testing.T) {
+	for name, p := range loadGoldenPrograms(t) {
+		for _, spec := range Specs() {
+			if err := Diff(p, spec); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,380 @@
+// Package progen generates seeded random programs for the
+// differential oracle (internal/oracle). Generation is biased toward
+// the hazard shapes the paper's attacks exercise — load-use chains
+// under cache misses, value-predictable loads whose values flip
+// mid-run, CLFLUSH/FENCE sequences, store-to-load forwarding,
+// data-dependent branches fed by (possibly mispredicted) load values,
+// and jal/jalr calls — because those are exactly the paths where
+// squash, selective replay and renaming can corrupt architectural
+// state.
+//
+// Every generated program terminates by construction: loops use a
+// dedicated down-counting register that the loop body can never
+// write, all other branches are forward skips, and indirect jumps
+// appear only as the return of a single jal/jalr subroutine whose
+// link register is likewise reserved. Programs never read RDTSC, so
+// their architectural results are timing-independent and comparable
+// against the in-order reference model.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vpsec/internal/isa"
+)
+
+// Register conventions. Writable pools never overlap the reserved
+// registers, which is what makes termination provable.
+const (
+	// dataLo..dataHi are the general-purpose pool blocks write.
+	dataLo = isa.R1
+	dataHi = isa.R15
+	// addrBase0/1 hold the two (aliasing) data-region base addresses.
+	addrBase0 = isa.R16
+	addrBase1 = isa.R17
+	// addrTmp is the scratch register of indexed (data-dependent
+	// address) accesses.
+	addrTmp = isa.R19
+	// linkReg is the jal/jalr subroutine link register.
+	linkReg = isa.R21
+	// loopReg0 is the first of four reserved down-counter registers
+	// (R28..R31), one per emitted loop.
+	loopReg0 = isa.R28
+)
+
+// RegionBase is the virtual address of the shared data region all
+// generated accesses land in.
+const RegionBase = 0x1000
+
+// Config bounds generation. The zero value is usable; Default fills
+// in the documented defaults.
+type Config struct {
+	Blocks       int   // top-level blocks per program; 0 means 14
+	DataWords    int   // words in the data region (power of two); 0 means 16
+	MaxLoopTrips int64 // per-loop iteration bound; 0 means 5
+	NoCalls      bool  // suppress the jal/jalr subroutine
+}
+
+func (c *Config) setDefaults() {
+	if c.Blocks == 0 {
+		c.Blocks = 14
+	}
+	if c.DataWords == 0 {
+		c.DataWords = 16
+	}
+	if c.MaxLoopTrips == 0 {
+		c.MaxLoopTrips = 5
+	}
+}
+
+// Default returns the configuration the differential harness and the
+// fuzz target use.
+func Default() Config {
+	var c Config
+	c.setDefaults()
+	return c
+}
+
+// gen is per-program generation state.
+type gen struct {
+	cfg      Config
+	rng      *rand.Rand
+	b        *isa.Builder
+	nextLbl  int
+	loops    int     // loops emitted so far (max 4: one counter reg each)
+	calls    int     // call sites emitted
+	depth    int     // nesting depth of the block being emitted
+	lastLoad isa.Reg // destination of the most recent load, for branch bias
+}
+
+// Generate builds the program for seed. The same (cfg, seed) pair
+// always yields the same program, so a failing seed printed by the
+// harness is a complete reproducer.
+func Generate(cfg Config, seed int64) *isa.Program {
+	cfg.setDefaults()
+	g := &gen{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(seed)),
+		b:        isa.NewBuilder(fmt.Sprintf("progen-%d", seed)),
+		lastLoad: dataLo,
+	}
+	g.prologue()
+	for i := 0; i < cfg.Blocks; i++ {
+		g.block(true)
+	}
+	g.b.Halt()
+	if g.calls > 0 {
+		g.subroutine()
+	}
+	return g.b.MustBuild()
+}
+
+// label returns a fresh unique label.
+func (g *gen) label() string {
+	g.nextLbl++
+	return fmt.Sprintf("L%d", g.nextLbl)
+}
+
+// dataReg picks a register from the writable pool.
+func (g *gen) dataReg() isa.Reg {
+	return dataLo + isa.Reg(g.rng.Intn(int(dataHi-dataLo)+1))
+}
+
+// dstReg picks a destination: usually from the pool, occasionally R0
+// (writes to the zero register must be architecturally discarded —
+// a rename-path edge case worth generating).
+func (g *gen) dstReg() isa.Reg {
+	if g.rng.Intn(20) == 0 {
+		return isa.R0
+	}
+	return g.dataReg()
+}
+
+// base picks one of the two region base registers (they alias, so
+// accesses through either collide in caches and predictors).
+func (g *gen) base() isa.Reg {
+	if g.rng.Intn(2) == 0 {
+		return addrBase0
+	}
+	return addrBase1
+}
+
+// off picks a word-aligned offset within the data region.
+func (g *gen) off() int64 {
+	return int64(g.rng.Intn(g.cfg.DataWords)) * 8
+}
+
+// hotOff picks from the first quarter of the region, concentrating
+// accesses so predictors train and stores flip trained values.
+func (g *gen) hotOff() int64 {
+	n := g.cfg.DataWords / 4
+	if n == 0 {
+		n = 1
+	}
+	return int64(g.rng.Intn(n)) * 8
+}
+
+// prologue initializes the data region and a few pool registers.
+func (g *gen) prologue() {
+	for i := 0; i < g.cfg.DataWords; i++ {
+		// Small values from a narrow set: repeated values are what
+		// last-value and FCM predictors latch onto.
+		g.b.Word(RegionBase+uint64(i)*8, uint64(g.rng.Intn(5)))
+	}
+	g.b.MovI(addrBase0, RegionBase)
+	// The second base aliases the first at a random word offset.
+	half := g.cfg.DataWords / 2
+	if half == 0 {
+		half = 1
+	}
+	g.b.MovI(addrBase1, RegionBase+int64(g.rng.Intn(half))*8)
+	for i := 0; i < 4; i++ {
+		g.b.MovI(g.dataReg(), int64(g.rng.Intn(16)))
+	}
+}
+
+// block emits one random block. Loops are only drawn at the top level
+// (allowLoop), so loops never nest and the trip-count product stays
+// bounded.
+func (g *gen) block(allowLoop bool) {
+	const kinds = 10
+	switch k := g.rng.Intn(kinds); k {
+	case 0:
+		g.alu()
+	case 1:
+		g.plainLoad()
+	case 2:
+		g.store()
+	case 3:
+		g.forwardPair()
+	case 4:
+		g.missChain()
+	case 5:
+		// Bound skip-inside-skip recursion.
+		if g.depth < 3 {
+			g.branchSkip()
+		} else {
+			g.alu()
+		}
+	case 6:
+		if allowLoop && g.loops < 4 {
+			g.loop()
+		} else {
+			g.missChain()
+		}
+	case 7:
+		g.valueFlip()
+	case 8:
+		g.indexedLoad()
+	case 9:
+		if !g.cfg.NoCalls {
+			g.b.Jal(linkReg, "sub")
+			g.calls++
+		} else {
+			g.alu()
+		}
+	}
+}
+
+// alu emits 1-3 random register-register or register-immediate ops.
+func (g *gen) alu() {
+	n := 1 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		d, a, b := g.dstReg(), g.dataReg(), g.dataReg()
+		switch g.rng.Intn(12) {
+		case 0:
+			g.b.Add(d, a, b)
+		case 1:
+			g.b.Sub(d, a, b)
+		case 2:
+			g.b.Mul(d, a, b)
+		case 3:
+			g.b.MulHU(d, a, b)
+		case 4:
+			g.b.DivU(d, a, b) // divide-by-zero semantics included
+		case 5:
+			g.b.RemU(d, a, b)
+		case 6:
+			g.b.And(d, a, b)
+		case 7:
+			g.b.Or(d, a, b)
+		case 8:
+			g.b.Xor(d, a, b)
+		case 9:
+			g.b.SltU(d, a, b)
+		case 10:
+			g.b.AddI(d, a, int64(g.rng.Intn(32))-8)
+		case 11:
+			g.b.ShrI(d, a, int64(g.rng.Intn(8)))
+		}
+	}
+}
+
+// plainLoad emits a load and remembers its destination.
+func (g *gen) plainLoad() {
+	d := g.dataReg()
+	g.b.Load(d, g.base(), g.off())
+	g.lastLoad = d
+}
+
+// store writes a pool register into the region.
+func (g *gen) store() {
+	g.b.Store(g.base(), g.off(), g.dataReg())
+}
+
+// forwardPair emits a store immediately followed by a load of the
+// same word and a use — the store-to-load forwarding path, and under
+// selective replay the forwarding-hazard path of replaybug_test.go.
+func (g *gen) forwardPair() {
+	base, off := g.base(), g.off()
+	src := g.dataReg()
+	d := g.dataReg()
+	g.b.Store(base, off, src)
+	g.b.Load(d, base, off)
+	g.b.Add(g.dstReg(), d, d)
+	g.lastLoad = d
+}
+
+// missChain emits flush (+ optional fence) + load + a short dependent
+// chain: a load-use chain under a guaranteed miss, the shape that
+// engages the value-prediction system.
+func (g *gen) missChain() {
+	base, off := g.base(), g.hotOff()
+	g.b.Flush(base, off)
+	if g.rng.Intn(2) == 0 {
+		g.b.Fence()
+	}
+	d := g.dataReg()
+	g.b.Load(d, base, off)
+	g.lastLoad = d
+	prev := d
+	for i := 0; i < 1+g.rng.Intn(2); i++ {
+		nd := g.dataReg()
+		g.b.Add(nd, prev, g.dataReg())
+		prev = nd
+	}
+}
+
+// branchSkip emits a forward conditional skip over 1-3 instructions.
+// Half the time it branches on the most recent load destination, so
+// a value-mispredicted load transiently steers control flow — the
+// squash-in-flight shape the selective-replay recovery must unwind.
+func (g *gen) branchSkip() {
+	a := g.dataReg()
+	if g.rng.Intn(2) == 0 {
+		a = g.lastLoad
+	}
+	b := g.dataReg()
+	if g.rng.Intn(3) == 0 {
+		b = isa.R0
+	}
+	skip := g.label()
+	switch g.rng.Intn(4) {
+	case 0:
+		g.b.Beq(a, b, skip)
+	case 1:
+		g.b.Bne(a, b, skip)
+	case 2:
+		g.b.Blt(a, b, skip)
+	case 3:
+		g.b.Bge(a, b, skip)
+	}
+	g.depth++
+	for i := 0; i < 1+g.rng.Intn(3); i++ {
+		g.block(false)
+	}
+	g.depth--
+	g.b.Label(skip)
+}
+
+// loop wraps 1-3 inner blocks in a counted loop. The counter is a
+// reserved register the body cannot write, counting down to zero:
+// termination by construction.
+func (g *gen) loop() {
+	counter := loopReg0 + isa.Reg(g.loops)
+	g.loops++
+	trips := 1 + g.rng.Int63n(g.cfg.MaxLoopTrips)
+	top := g.label()
+	g.b.MovI(counter, trips)
+	g.b.Label(top)
+	g.depth++
+	for i := 0; i < 1+g.rng.Intn(3); i++ {
+		g.block(false)
+	}
+	g.depth--
+	g.b.AddI(counter, counter, -1)
+	g.b.Bne(counter, isa.R0, top)
+}
+
+// valueFlip stores a fresh small constant into a hot word, then
+// fences: the next trained load of that word mispredicts.
+func (g *gen) valueFlip() {
+	v := g.dataReg()
+	g.b.MovI(v, int64(g.rng.Intn(7)))
+	g.b.Store(g.base(), g.hotOff(), v)
+	g.b.Fence()
+}
+
+// indexedLoad computes a data-dependent address inside the region and
+// loads through it — under value misprediction this is the transient
+// attacker-controlled access of the persistent channel.
+func (g *gen) indexedLoad() {
+	mask := int64(g.cfg.DataWords-1) * 8
+	g.b.AndI(addrTmp, g.lastLoad, mask)
+	g.b.Add(addrTmp, addrTmp, g.base())
+	d := g.dataReg()
+	g.b.Load(d, addrTmp, 0)
+	g.lastLoad = d
+}
+
+// subroutine emits the single call target: a couple of simple ops and
+// an indirect return through the reserved link register.
+func (g *gen) subroutine() {
+	g.b.Label("sub")
+	g.alu()
+	if g.rng.Intn(2) == 0 {
+		g.plainLoad()
+	}
+	g.b.Jalr(isa.R0, linkReg)
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// KanataStats summarizes a parsed Kanata log.
+type KanataStats struct {
+	Instructions int // I records (dynamic instructions introduced)
+	Retired      int // R records with flush=0
+	Flushed      int // R records with flush=1
+	Cycles       uint64
+	Live         int // ids introduced but never closed by an R record
+}
+
+// CheckKanata parses a Kanata pipeline log and validates it against
+// the format ExportKanata emits: correct header, well-formed records,
+// and a consistent instruction lifecycle — every S/L/R line refers to
+// a live id, no id is introduced twice while live, and retire ids on
+// committed instructions increase strictly from 1 (Kanata's in-order
+// retirement numbering). It is the round-trip check for the exporter:
+// a harness-generated trace must parse with zero live ids and a
+// retired count equal to the machine's retired-instruction counter.
+func CheckKanata(r io.Reader) (*KanataStats, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	stats := &KanataStats{}
+	live := map[uint64]bool{}
+	lineNo := 0
+	errf := func(format string, args ...any) (*KanataStats, error) {
+		return nil, fmt.Errorf("kanata: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	if !sc.Scan() {
+		lineNo = 1
+		return errf("empty log")
+	}
+	lineNo++
+	if sc.Text() != "Kanata\t0004" {
+		return errf("bad header %q", sc.Text())
+	}
+	uintField := func(s string) (uint64, error) {
+		return strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+	}
+	sawCycle := false
+	lastRetire := uint64(0)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		f := strings.Split(line, "\t")
+		switch f[0] {
+		case "C=":
+			if len(f) != 2 {
+				return errf("C= needs one field")
+			}
+			if sawCycle || stats.Instructions > 0 {
+				return errf("C= after records started")
+			}
+			if _, err := uintField(f[1]); err != nil {
+				return errf("bad start cycle: %v", err)
+			}
+		case "C":
+			if len(f) != 2 {
+				return errf("C needs one field")
+			}
+			d, err := uintField(f[1])
+			if err != nil || d == 0 {
+				return errf("bad cycle delta %q", f[1])
+			}
+			stats.Cycles += d
+			sawCycle = true
+		case "I":
+			if len(f) != 4 {
+				return errf("I needs id, instr-id, thread")
+			}
+			id, err := uintField(f[1])
+			if err != nil {
+				return errf("bad id: %v", err)
+			}
+			if live[id] {
+				return errf("id %d introduced while live", id)
+			}
+			if _, err := uintField(f[2]); err != nil {
+				return errf("bad instr-id: %v", err)
+			}
+			live[id] = true
+			stats.Instructions++
+		case "L", "S":
+			if len(f) != 4 {
+				return errf("%s needs id, lane, text", f[0])
+			}
+			id, err := uintField(f[1])
+			if err != nil {
+				return errf("bad id: %v", err)
+			}
+			if !live[id] {
+				return errf("%s for dead id %d", f[0], id)
+			}
+			if _, err := uintField(f[2]); err != nil {
+				return errf("bad lane: %v", err)
+			}
+		case "R":
+			if len(f) != 4 {
+				return errf("R needs id, retire-id, flush")
+			}
+			id, err := uintField(f[1])
+			if err != nil {
+				return errf("bad id: %v", err)
+			}
+			if !live[id] {
+				return errf("R for dead id %d", id)
+			}
+			delete(live, id)
+			rid, err := uintField(f[2])
+			if err != nil {
+				return errf("bad retire-id: %v", err)
+			}
+			switch f[3] {
+			case "0":
+				if rid != lastRetire+1 {
+					return errf("retire id %d after %d; must increase strictly from 1", rid, lastRetire)
+				}
+				lastRetire = rid
+				stats.Retired++
+			case "1":
+				stats.Flushed++
+			default:
+				return errf("bad flush flag %q", f[3])
+			}
+		default:
+			return errf("unknown record %q", f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("kanata: %w", err)
+	}
+	stats.Live = len(live)
+	return stats, nil
+}
