@@ -6,14 +6,24 @@
 # the tracked record of the metrics registry's hot-loop overhead (< 5%
 # budget); `make bench-runner` regenerates BENCH_runner.json, the
 # tracked sequential-vs-parallel record of the experiment runner
-# (byte-identical metrics required, >= 2x speedup on >= 4 cores).
+# (byte-identical metrics required, >= 2x speedup on >= 4 cores);
+# `make bench-core` regenerates BENCH_core.json, the tracked record of
+# the cycle-level core's own speed (>= 2x wall-clock and >= 10x fewer
+# allocations per instruction vs the recorded baseline, byte-identical
+# metrics required — see DESIGN.md §10).
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build test vet race bench bench-metrics bench-runner docs diff fuzz
+.PHONY: check build test vet race bench bench-metrics bench-runner bench-core alloc-budget docs diff fuzz
 
-check: vet build race diff docs
+check: vet build race alloc-budget diff docs
+
+# Steady-state allocation budget of the simulator hot loop
+# (DESIGN.md §10). Runs without -race: the race detector instruments
+# allocations and the test excludes itself under that build tag.
+alloc-budget:
+	$(GO) test ./internal/cpu -run TestMachineRunSteadyStateAllocs -count=1
 
 # Differential oracle: every generated program must commit the same
 # state in the same order as the in-order reference model, on every
@@ -53,6 +63,13 @@ bench-metrics:
 # metrics exports are byte-identical, and write the wall-clock record.
 bench-runner:
 	$(GO) run ./tools/benchmetrics -runner -runs 100 -o BENCH_runner.json
+
+# Re-measure the cycle-level core on the Fig. 5 Train+Test sweep and
+# compare against the recorded baseline in BENCH_core.json (fails
+# below the speedup/allocation budgets or on any metrics-export
+# difference). `go run ./tools/benchcore -rebase` moves the baseline.
+bench-core:
+	$(GO) run ./tools/benchcore -o BENCH_core.json
 
 # Documentation gate: vet, formatting, and doc coverage of the
 # experiment surface (every exported symbol in the runner, attacks,

@@ -1,0 +1,71 @@
+// Package prof wires the conventional -cpuprofile/-memprofile flags
+// into the command-line tools, so performance work on the simulator
+// starts from a pprof profile instead of a guess.
+package prof
+
+import (
+	"flag"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations registered on the default
+// flag set.
+type Flags struct {
+	cpu *string
+	mem *string
+}
+
+// Register adds -cpuprofile and -memprofile to the default flag set.
+// Call before flag.Parse.
+func Register() *Flags {
+	return &Flags{
+		cpu: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: flag.String("memprofile", "", "write an allocation profile to this file at exit"),
+	}
+}
+
+// Start begins CPU profiling when requested and returns a stop
+// function finishing both profiles. Defer the stop on the normal exit
+// path; error paths that reach os.Exit skip it and leave at most a
+// truncated profile, which is fine — profiles of failed runs are not
+// the point.
+func (f *Flags) Start() (func() error, error) {
+	var cpuFile *os.File
+	if *f.cpu != "" {
+		out, err := os.Create(*f.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(out); err != nil {
+			out.Close()
+			return nil, err
+		}
+		cpuFile = out
+	}
+	memPath := *f.mem
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath == "" {
+			return nil
+		}
+		out, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		// Settle the heap so in-use numbers reflect live objects; the
+		// allocs profile keeps cumulative counts either way.
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(out, 0); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	}, nil
+}

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"time"
 
+	"vpsec/cmd/internal/prof"
 	"vpsec/internal/attacks"
 	"vpsec/internal/core"
 	"vpsec/internal/metrics"
@@ -51,7 +52,19 @@ func main() {
 		metricsPath  = flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
 		manifestPath = flag.String("manifest", "", "write a run manifest (config, seed, metrics) to this file")
 	)
+	profFlags := prof.Register()
 	flag.Parse()
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpattack:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "vpattack:", err)
+		}
+	}()
 
 	opt := attacks.Options{
 		Predictor:  attacks.PredictorKind(*predKind),

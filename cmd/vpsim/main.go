@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"time"
 
+	"vpsec/cmd/internal/prof"
 	"vpsec/internal/asm"
 	"vpsec/internal/cpu"
 	"vpsec/internal/isa"
@@ -41,7 +42,19 @@ func main() {
 		metricsFmt   = flag.String("metrics-format", "json", "metrics export format: json or prom")
 		manifestPath = flag.String("manifest", "", "write a run manifest (config, seed, metrics) to this file")
 	)
+	profFlags := prof.Register()
 	flag.Parse()
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpsim:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "vpsim:", err)
+		}
+	}()
 
 	if *perf {
 		if err := runPerf(*conf, *seed); err != nil {

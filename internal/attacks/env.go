@@ -16,6 +16,7 @@ package attacks
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"vpsec/internal/core"
 	"vpsec/internal/cpu"
@@ -214,6 +215,25 @@ type env struct {
 	conf    int
 	train   int    // accesses per training step (>= conf; see Options.TrainIters)
 	lastPID uint64 // previously scheduled pid (FlushOnSwitch defense)
+
+	// ts points back at the pooled trial state this env lives in;
+	// release hands it back. nil for envs that were never pooled.
+	ts *trialState
+	// times is runKernel's reusable result buffer: each call overwrites
+	// it, and every caller consumes the returned slice before the env
+	// runs another kernel.
+	times []uint64
+	// procs recycles Process structs round-robin across the env's
+	// kernel runs; at most two (the SMT pair) are ever live at once.
+	procs [4]cpu.Process
+	procN uint8
+}
+
+// nextProc hands out the env's next recycled Process slot.
+func (e *env) nextProc() *cpu.Process {
+	p := &e.procs[e.procN&3]
+	e.procN++
+	return p
 }
 
 // switchTo models the OS scheduler handing the core to pid: with the
@@ -225,21 +245,67 @@ func (e *env) switchTo(pid uint64) {
 	e.lastPID = pid
 }
 
+// trialState is one pooled bundle of everything a trial env reuses:
+// the machine (hierarchy, entry arena, pipeline pool), its RNG, a
+// recyclable LVP, the env itself and its Options copy. A fresh trial
+// needs fresh *state*, not fresh allocations — cpu.Machine.Reset,
+// mem.Hierarchy.Reset and predictor reconfiguration restore the as-new
+// state bit-identically, so the paper's hundreds of per-case trials
+// stop rebuilding caches, page tables and predictor tables from
+// scratch.
+type trialState struct {
+	m   *cpu.Machine
+	rng *rand.Rand
+	lvp *predictor.LVP
+	env env
+	opt Options
+}
+
+var trialPool sync.Pool
+
+// release hands the env's trial state back to the pool. The env must
+// not be used afterwards.
+func (e *env) release() {
+	ts := e.ts
+	if ts == nil {
+		return
+	}
+	e.ts = nil
+	e.m = nil
+	trialPool.Put(ts)
+}
+
 func newEnv(opt *Options, seed int64) (*env, error) {
-	rng := rand.New(rand.NewSource(seed))
+	ts, _ := trialPool.Get().(*trialState)
+	if ts == nil {
+		ts = &trialState{rng: rand.New(rand.NewSource(seed))}
+	} else {
+		// Rand.Seed re-arms the pooled source to exactly the stream a
+		// fresh rand.New(rand.NewSource(seed)) would produce.
+		ts.rng.Seed(seed)
+	}
+	rng := ts.rng
 	var inner predictor.Predictor
 	switch opt.Predictor {
 	case NoVP:
 		inner = predictor.NewNone()
 	case LVP, OracleLVP:
-		p, err := predictor.NewLVP(predictor.LVPConfig{
+		lcfg := predictor.LVPConfig{
 			Confidence: opt.Confidence, UsePID: opt.UsePID,
 			FPC: opt.FPC, FPCSeed: seed,
-		})
-		if err != nil {
-			return nil, err
 		}
-		inner = p
+		if ts.lvp != nil {
+			if err := ts.lvp.Reconfigure(lcfg); err != nil {
+				return nil, err
+			}
+		} else {
+			p, err := predictor.NewLVP(lcfg)
+			if err != nil {
+				return nil, err
+			}
+			ts.lvp = p
+		}
+		inner = ts.lvp
 	case VTAGE, OracleVTAGE:
 		p, err := predictor.NewVTAGE(predictor.VTAGEConfig{
 			Confidence: opt.Confidence, UsePID: opt.UsePID,
@@ -306,19 +372,37 @@ func newEnv(opt *Options, seed int64) (*env, error) {
 		RecordConflicts:  true,
 		SelectiveReplay:  opt.Replay,
 	}
-	hier := mem.DefaultHierarchy()
-	hier.NextLinePrefetch = opt.Prefetch
-	m, err := cpu.NewMachine(cfg, hier, inner, rng)
-	if err != nil {
-		return nil, err
+	if ts.m != nil {
+		ts.m.Hier.Reset()
+		if err := ts.m.Reset(cfg, inner, rng); err != nil {
+			return nil, err
+		}
+	} else {
+		m, err := cpu.NewMachine(cfg, mem.DefaultHierarchy(), inner, rng)
+		if err != nil {
+			return nil, err
+		}
+		ts.m = m
 	}
-	m.Noise = opt.Noise
+	ts.m.Hier.NextLinePrefetch = opt.Prefetch
+	ts.m.Noise = opt.Noise
 	if opt.Metrics != nil {
-		m.AttachMetrics(opt.Metrics)
+		ts.m.AttachMetrics(opt.Metrics)
 	}
 	train := opt.Confidence
 	if opt.TrainIters > 0 {
 		train = opt.TrainIters
 	}
-	return &env{m: m, opt: opt, conf: opt.Confidence, train: train}, nil
+	// Reuse the pooled env and Options storage; the times buffer and
+	// Process slots keep their capacity across trials.
+	ts.opt = *opt
+	e := &ts.env
+	e.m = ts.m
+	e.opt = &ts.opt
+	e.conf = opt.Confidence
+	e.train = train
+	e.lastPID = 0
+	e.ts = ts
+	e.procN = 0
+	return e, nil
 }

@@ -82,8 +82,8 @@ func (e *env) runEvictionKernel(pid uint64, p kernelParams, physBase uint64) ([]
 	if err != nil {
 		return nil, 0, err
 	}
-	proc, err := e.m.NewProcess(pid, prog, physBase)
-	if err != nil {
+	proc := e.nextProc()
+	if err := e.m.InitProcess(proc, pid, prog, physBase); err != nil {
 		return nil, 0, err
 	}
 	if _, err := e.m.Run(proc); err != nil {

@@ -2,6 +2,7 @@ package attacks
 
 import (
 	"fmt"
+	"sync"
 
 	"vpsec/internal/cpu"
 	"vpsec/internal/isa"
@@ -111,23 +112,61 @@ func buildKernel(p kernelParams) (*isa.Program, error) {
 	return prog, nil
 }
 
+// kernelKey identifies a memoized kernel build: the full parameter set
+// plus which builder produced it.
+type kernelKey struct {
+	volatile bool
+	p        kernelParams
+}
+
+// kernelCache memoizes built kernel programs. Builds are deterministic
+// in kernelParams and programs are immutable once built (the pipeline
+// and NewProcess only read them), so trials — including parallel ones
+// on different goroutines — can share one build instead of re-emitting
+// the same ~30 instructions every trial, which used to be a top
+// allocation site of the whole experiment sweep.
+var kernelCache sync.Map // kernelKey -> *isa.Program
+
+func buildKernelCached(volatile bool, p kernelParams) (*isa.Program, error) {
+	key := kernelKey{volatile: volatile, p: p}
+	if v, ok := kernelCache.Load(key); ok {
+		return v.(*isa.Program), nil
+	}
+	build := buildKernel
+	if volatile {
+		build = buildVolatileKernel
+	}
+	prog, err := build(p)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := kernelCache.LoadOrStore(key, prog)
+	return v.(*isa.Program), nil
+}
+
 // runKernel builds the kernel, runs it in a process at physBase, and
 // returns the per-iteration timings plus the run result.
 func (e *env) runKernel(pid uint64, p kernelParams, physBase uint64) ([]uint64, cpu.RunResult, error) {
 	e.switchTo(pid)
-	prog, err := buildKernel(p)
+	prog, err := buildKernelCached(false, p)
 	if err != nil {
 		return nil, cpu.RunResult{}, err
 	}
-	proc, err := e.m.NewProcess(pid, prog, physBase)
-	if err != nil {
+	proc := e.nextProc()
+	if err := e.m.InitProcess(proc, pid, prog, physBase); err != nil {
 		return nil, cpu.RunResult{}, err
 	}
 	res, err := e.m.Run(proc)
 	if err != nil {
 		return nil, cpu.RunResult{}, err
 	}
-	times := make([]uint64, p.iters)
+	// The returned slice aliases the env's reusable buffer: it stays
+	// valid until the env's next runKernel call, and every caller reads
+	// it before starting another kernel.
+	if cap(e.times) < p.iters {
+		e.times = make([]uint64, p.iters)
+	}
+	times := e.times[:p.iters]
 	for i := range times {
 		times[i] = e.m.Hier.Mem.Peek(physBase + p.results + uint64(8*i))
 	}
@@ -156,25 +195,37 @@ func (e *env) flushProbeRegion(physBase uint64) {
 	}
 }
 
+// probeCache memoizes the per-line reload-probe programs (immutable
+// once built, like the kernel cache).
+var probeCache sync.Map // uint64 probe address -> *isa.Program
+
 // probeLatency runs a minimal reload probe in a process at physBase:
 // it times a single load of probe line `line` and returns the latency
 // (the decode step of the persistent channel, Fig. 4 lines 18-24).
 func (e *env) probeLatency(pid uint64, physBase uint64, line uint64) (uint64, error) {
 	e.switchTo(pid)
-	b := isa.NewBuilder("probe")
-	b.MovI(isa.R1, int64(probeBase+(line&valueMask)<<probeShift))
-	b.Rdtsc(isa.R20)
-	b.Load(isa.R2, isa.R1, 0)
-	b.Fence()
-	b.Rdtsc(isa.R21)
-	b.Sub(isa.R22, isa.R21, isa.R20)
-	b.Halt()
-	prog, err := b.Build()
-	if err != nil {
-		return 0, err
+	addr := probeBase + (line&valueMask)<<probeShift
+	var prog *isa.Program
+	if v, ok := probeCache.Load(addr); ok {
+		prog = v.(*isa.Program)
+	} else {
+		b := isa.NewBuilder("probe")
+		b.MovI(isa.R1, int64(addr))
+		b.Rdtsc(isa.R20)
+		b.Load(isa.R2, isa.R1, 0)
+		b.Fence()
+		b.Rdtsc(isa.R21)
+		b.Sub(isa.R22, isa.R21, isa.R20)
+		b.Halt()
+		built, err := b.Build()
+		if err != nil {
+			return 0, err
+		}
+		v, _ := probeCache.LoadOrStore(addr, built)
+		prog = v.(*isa.Program)
 	}
-	proc, err := e.m.NewProcess(pid, prog, physBase)
-	if err != nil {
+	proc := e.nextProc()
+	if err := e.m.InitProcess(proc, pid, prog, physBase); err != nil {
 		return 0, err
 	}
 	res, err := e.m.Run(proc)
@@ -256,12 +307,12 @@ const volatileWindow = 100
 // windowed contention observation.
 func (e *env) runVolatileTrigger(pid uint64, p kernelParams, physBase uint64) (float64, cpu.RunResult, error) {
 	e.switchTo(pid)
-	prog, err := buildVolatileKernel(p)
+	prog, err := buildKernelCached(true, p)
 	if err != nil {
 		return 0, cpu.RunResult{}, err
 	}
-	proc, err := e.m.NewProcess(pid, prog, physBase)
-	if err != nil {
+	proc := e.nextProc()
+	if err := e.m.InitProcess(proc, pid, prog, physBase); err != nil {
 		return 0, cpu.RunResult{}, err
 	}
 	res, err := e.m.Run(proc)

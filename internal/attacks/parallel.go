@@ -54,6 +54,7 @@ func runCaseTrials(ctx context.Context, opt *Options, res *CaseResult, record bo
 			if record {
 				e.recordTrial(mapped, obs, cyc)
 			}
+			e.release()
 			return trialOut{obs: obs, cyc: cyc}, nil
 		})
 	if err != nil {

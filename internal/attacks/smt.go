@@ -95,16 +95,16 @@ func (e *env) runTriggerWithSampler(pid uint64, p kernelParams, physBase uint64)
 	if err != nil {
 		return 0, 0, err
 	}
-	victim, err := e.m.NewProcess(pid, trigger, physBase)
-	if err != nil {
+	victim := e.nextProc()
+	if err := e.m.InitProcess(victim, pid, trigger, physBase); err != nil {
 		return 0, 0, err
 	}
 	samp, err := buildSampler()
 	if err != nil {
 		return 0, 0, err
 	}
-	sampler, err := e.m.NewProcess(5, samp, samplerPhys)
-	if err != nil {
+	sampler := e.nextProc()
+	if err := e.m.InitProcess(sampler, 5, samp, samplerPhys); err != nil {
 		return 0, 0, err
 	}
 	rv, rs, err := e.m.RunSMT(victim, sampler)

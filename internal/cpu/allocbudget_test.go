@@ -1,0 +1,62 @@
+// Steady-state allocation budget for the simulator hot loop. The race
+// detector instruments allocations and would make the counts
+// meaningless, so the budget is only enforced in non-race runs (make
+// check runs the package both ways; this file rides the plain run).
+
+//go:build !race
+
+package cpu_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"vpsec/internal/cpu"
+	"vpsec/internal/predictor"
+	"vpsec/internal/progen"
+)
+
+// runAllocBudget bounds the average heap allocations one Machine.Run
+// of a miss-heavy progen program may make once the machine is warm
+// (arena, pipeline pool and caches in steady state). The arena +
+// ready-queue rework brought this to zero; the budget leaves a little
+// headroom so an accidental per-instruction or per-miss allocation
+// (hundreds per run) still fails loudly.
+const runAllocBudget = 8
+
+func TestMachineRunSteadyStateAllocs(t *testing.T) {
+	prog := progen.Generate(progen.Default(), 12345)
+	lvp, err := predictor.NewLVP(predictor.LVPConfig{Confidence: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cpu.NewMachine(cpu.Config{SelectiveReplay: true}, nil, lvp, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := m.NewProcess(1, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LoadMisses == 0 {
+		t.Fatal("progen program has no load misses; pick a seed that stresses the memory system")
+	}
+	// Warm the arena, pipeline pool, caches and predictor table.
+	for i := 0; i < 3; i++ {
+		if _, err := m.Run(proc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := m.Run(proc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > runAllocBudget {
+		t.Errorf("Machine.Run allocates %.1f objects/run in steady state, budget %d", avg, runAllocBudget)
+	}
+}

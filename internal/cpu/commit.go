@@ -73,12 +73,13 @@ func (p *pipeline) checkInvariants() error {
 	if p.invErr != nil {
 		return p.invErr
 	}
-	if len(p.rob) > p.cfg.ROBSize {
-		return invariantf("ROB holds %d entries, capacity %d", len(p.rob), p.cfg.ROBSize)
+	if p.rob.len() > p.cfg.ROBSize {
+		return invariantf("ROB holds %d entries, capacity %d", p.rob.len(), p.cfg.ROBSize)
 	}
 	var youngest [isa.NumRegs]*entry
 	var lastSeq uint64
-	for i, e := range p.rob {
+	for i := 0; i < p.rob.len(); i++ {
+		e := p.rob.at(i)
 		if i > 0 && e.seq <= lastSeq {
 			return invariantf("ROB seq not increasing: %d after %d", e.seq, lastSeq)
 		}

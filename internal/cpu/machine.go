@@ -46,7 +46,52 @@ type Machine struct {
 
 	// metrics, when attached (AttachMetrics), streams ROB occupancy and
 	// publishes run/predictor/memory counters into a registry.
-	metrics *machineMetrics
+	// metricsCache survives Reset so a pooled machine re-attaching to
+	// the same registry reuses its resolved handles.
+	metrics      *machineMetrics
+	metricsCache *machineMetrics
+
+	// arena recycles ROB entries across fetches, squashes and runs;
+	// pipePool recycles whole pipelines across runs. Both live on the
+	// machine (not the pipeline) so SMT threads share one free list and
+	// repeated Runs reach a steady state that allocates nothing per
+	// instruction.
+	arena    entryArena
+	pipePool []*pipeline
+
+	// replayEpoch numbers selective-replay closure traversals; entries
+	// stamp it to mark closure membership (see replayDependents). It is
+	// machine-global because arena entries migrate between SMT threads.
+	replayEpoch uint64
+}
+
+// getPipeline takes a pooled pipeline (or makes one) and resets it for
+// a fresh run of proc.
+func (m *Machine) getPipeline(proc *Process) *pipeline {
+	var p *pipeline
+	if n := len(m.pipePool); n > 0 {
+		p = m.pipePool[n-1]
+		m.pipePool = m.pipePool[:n-1]
+	} else {
+		p = new(pipeline)
+	}
+	p.reset(m, proc)
+	return p
+}
+
+// putPipeline returns a pipeline to the pool, releasing every entry it
+// still owns (in-flight and retired) back to the arena.
+func (m *Machine) putPipeline(p *pipeline) {
+	for p.rob.len() > 0 {
+		m.arena.release(p.rob.popFront())
+	}
+	for _, e := range p.retired {
+		m.arena.release(e)
+	}
+	p.retired = p.retired[:0]
+	p.ready = p.ready[:0]
+	p.fences = p.fences[:0]
+	m.pipePool = append(m.pipePool, p)
 }
 
 // NewMachine assembles a machine; nil hier gets the default hierarchy,
@@ -68,15 +113,56 @@ func NewMachine(cfg Config, hier *mem.Hierarchy, pred predictor.Predictor, rng *
 	return &Machine{Cfg: cfg, Hier: hier, Pred: pred, Rng: rng}, nil
 }
 
+// Reset re-arms a machine for an independent run with a new
+// configuration, predictor and RNG, keeping its entry arena and
+// pipeline pool warm. The hierarchy is left untouched — callers
+// recycling a machine across trials reset it separately
+// (mem.Hierarchy.Reset). Every observable field returns to what
+// NewMachine would have produced, so a run on a recycled machine is
+// bit-identical to one on a freshly built machine.
+func (m *Machine) Reset(cfg Config, pred predictor.Predictor, rng *rand.Rand) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	cfg.setDefaults()
+	if pred == nil {
+		pred = predictor.NewNone()
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	m.Cfg = cfg
+	m.Pred = pred
+	m.Rng = rng
+	m.Noise = Noise{}
+	m.Cycle = 0
+	m.Tracer = nil
+	m.OnCommit = nil
+	m.metrics = nil
+	return nil
+}
+
+// InitProcess registers a process into caller-provided storage: p is
+// overwritten and the program's initial data words are written to
+// physical memory at physBase + vaddr. Trial harnesses that run many
+// short programs use it to recycle Process structs.
+func (m *Machine) InitProcess(p *Process, pid uint64, prog *isa.Program, physBase uint64) error {
+	if err := prog.Validate(); err != nil {
+		return err
+	}
+	*p = Process{PID: pid, Prog: prog, PhysBase: physBase}
+	for a, v := range prog.Data {
+		m.Hier.Mem.Write(physBase+a, v)
+	}
+	return nil
+}
+
 // NewProcess registers a process: its initial data words are written
 // to physical memory at physBase + vaddr.
 func (m *Machine) NewProcess(pid uint64, prog *isa.Program, physBase uint64) (*Process, error) {
-	if err := prog.Validate(); err != nil {
+	p := new(Process)
+	if err := m.InitProcess(p, pid, prog, physBase); err != nil {
 		return nil, err
-	}
-	p := &Process{PID: pid, Prog: prog, PhysBase: physBase}
-	for a, v := range prog.Data {
-		m.Hier.Mem.Write(physBase+a, v)
 	}
 	return p, nil
 }
@@ -123,20 +209,26 @@ func (r RunResult) IPC() float64 {
 // mutating shared state (caches, predictor, cycle counter) and the
 // process's architectural registers.
 func (m *Machine) Run(proc *Process) (RunResult, error) {
-	st := newPipeline(m, proc)
+	st := m.getPipeline(proc)
 	for {
 		done, err := st.step()
 		if err != nil {
-			return st.res, err
+			res := st.res
+			m.putPipeline(st)
+			return res, err
 		}
 		if done {
 			proc.Regs = st.regs
 			st.res.Regs = st.regs
 			m.publishRun(&st.res)
-			return st.res, nil
+			res := st.res
+			m.putPipeline(st)
+			return res, nil
 		}
 		if st.res.Cycles >= m.Cfg.MaxCycles {
-			return st.res, fmt.Errorf("cpu: %q exceeded %d cycles", proc.Prog.Name, m.Cfg.MaxCycles)
+			res := st.res
+			m.putPipeline(st)
+			return res, fmt.Errorf("cpu: %q exceeded %d cycles", proc.Prog.Name, m.Cfg.MaxCycles)
 		}
 	}
 }

@@ -35,6 +35,69 @@ type machineMetrics struct {
 	occCounts []uint64 // local per-bucket tallies; +Inf last
 	occSum    float64
 	occCount  uint64
+
+	// run holds the cpu.* handles resolved once at attach, so publishRun
+	// is pure pointer adds — no name construction or registry lookups.
+	run runHandles
+	// predName / pred cache the per-predictor handles; rebuilt only when
+	// the machine's predictor name changes between attaches.
+	predName string
+	pred     predHandles
+}
+
+// runHandles are the fixed per-run counters and gauges.
+type runHandles struct {
+	cycles, fetched, issued, retired, squashed *metrics.Counter
+	squashValue, squashBranch, replayed        *metrics.Counter
+	loadMisses, forwards, portConflicts        *metrics.Counter
+	predictions, noPredictions, correct, wrong *metrics.Counter
+	ipc                                        *metrics.Gauge
+}
+
+// predHandles are one predictor scope's counters and gauges. The
+// accuracy gauge and confidence histogram are resolved lazily (first
+// nonzero verification, FinalizeMetrics), so they are registered only
+// for predictors that actually produce them — eager registration would
+// add empty pred.<scope>.* series to the export for the no-VP
+// baseline.
+type predHandles struct {
+	lookups, predictions, noPredictions *metrics.Counter
+	correct, mispredicts, evictions     *metrics.Counter
+	accuracy                            *metrics.Gauge
+	confidence                          *metrics.Histogram
+}
+
+func resolveRunHandles(reg *metrics.Registry) runHandles {
+	return runHandles{
+		cycles:        reg.Counter("cpu.cycles", "simulated cycles"),
+		fetched:       reg.Counter("cpu.fetch.instrs", "instructions renamed into the ROB (wrong path included)"),
+		issued:        reg.Counter("cpu.issue.instrs", "instructions that began execution"),
+		retired:       reg.Counter("cpu.commit.retired", "instructions committed"),
+		squashed:      reg.Counter("cpu.commit.squashes", "ROB entries dropped by full squashes"),
+		squashValue:   reg.Counter("cpu.squash.value", "value-misprediction squash events"),
+		squashBranch:  reg.Counter("cpu.squash.branch", "branch-misprediction refetch events"),
+		replayed:      reg.Counter("cpu.replay.instrs", "entries re-executed by selective replay"),
+		loadMisses:    reg.Counter("cpu.load.misses", "loads served beyond the L1"),
+		forwards:      reg.Counter("cpu.load.forwards", "store-to-load forwards"),
+		portConflicts: reg.Counter("cpu.issue.port_conflicts", "ready instructions stalled on issue ports"),
+		predictions:   reg.Counter("cpu.vps.predictions", "value predictions forwarded"),
+		noPredictions: reg.Counter("cpu.vps.no_predictions", "VPS consultations below confidence"),
+		correct:       reg.Counter("cpu.vps.correct", "predictions verified correct"),
+		wrong:         reg.Counter("cpu.vps.wrong", "predictions verified wrong"),
+		ipc:           reg.Gauge("cpu.ipc", "retired instructions per cycle, from registry totals"),
+	}
+}
+
+func resolvePredHandles(reg *metrics.Registry, name string) predHandles {
+	scope := "pred." + predScope(name) + "."
+	return predHandles{
+		lookups:       reg.Counter(scope+"lookups", "Predict consultations"),
+		predictions:   reg.Counter(scope+"predictions", "lookups that produced a value"),
+		noPredictions: reg.Counter(scope+"no_predictions", "lookups below the confidence threshold"),
+		correct:       reg.Counter(scope+"correct", "verified-correct predictions"),
+		mispredicts:   reg.Counter(scope+"mispredicts", "verified-incorrect predictions"),
+		evictions:     reg.Counter(scope+"evictions", "usefulness-based table evictions"),
+	}
 }
 
 // predScope lowercases a predictor's Name into a registry scope
@@ -57,10 +120,22 @@ func predScope(name string) string {
 // pipeline runs; everything else is published as counter deltas when
 // each Run completes, so many machines may share one registry.
 func (m *Machine) AttachMetrics(reg *metrics.Registry) {
+	if mm := m.metricsCache; mm != nil && mm.reg == reg {
+		// Re-attach to the same registry (a pooled machine starting a new
+		// trial): reuse the resolved handles, and zero the delta trackers
+		// and local tallies so the state matches a fresh attach.
+		mm.lastPred = predictor.Stats{}
+		clear(mm.occCounts)
+		mm.occSum, mm.occCount = 0, 0
+		m.metrics = mm
+		m.Hier.AttachMetrics(reg)
+		return
+	}
 	mm := &machineMetrics{
 		reg:       reg,
 		robOcc:    reg.Histogram("cpu.rob.occupancy", "reorder-buffer entries live at the end of each cycle", robOccBounds),
 		occCounts: make([]uint64, len(robOccBounds)+1),
+		run:       resolveRunHandles(reg),
 	}
 	top := int(robOccBounds[len(robOccBounds)-1])
 	mm.occLUT = make([]uint8, top+1)
@@ -68,23 +143,28 @@ func (m *Machine) AttachMetrics(reg *metrics.Registry) {
 		mm.occLUT[n] = uint8(sort.SearchFloat64s(robOccBounds, float64(n)))
 	}
 	m.metrics = mm
+	m.metricsCache = mm
 	m.Hier.AttachMetrics(reg)
 }
 
-// observeOccupancy records one cycle's ROB occupancy (no-op without an
-// attached registry; with one, the cost is a table-lookup increment).
-func (m *Machine) observeOccupancy(n int) {
+// observeOccupancy records k consecutive cycles of ROB occupancy n
+// (no-op without an attached registry; with one, the cost is a
+// table-lookup increment). Event-driven cycle skipping passes k > 1
+// for a quiet stretch; the sums involved are integer-valued and far
+// below 2^53, so the bulk addition is bit-identical to k repeated
+// single-cycle observations.
+func (m *Machine) observeOccupancy(n int, k uint64) {
 	mm := m.metrics
 	if mm == nil {
 		return
 	}
 	if n < len(mm.occLUT) {
-		mm.occCounts[mm.occLUT[n]]++
+		mm.occCounts[mm.occLUT[n]] += k
 	} else {
-		mm.occCounts[len(mm.occCounts)-1]++
+		mm.occCounts[len(mm.occCounts)-1] += k
 	}
-	mm.occSum += float64(n)
-	mm.occCount++
+	mm.occSum += float64(n) * float64(k)
+	mm.occCount += k
 }
 
 // publishRun forwards one completed run's counters into the registry.
@@ -101,25 +181,24 @@ func (m *Machine) publishRun(res *RunResult) {
 		clear(mm.occCounts)
 		mm.occSum, mm.occCount = 0, 0
 	}
-	reg := mm.reg
-	reg.Counter("cpu.cycles", "simulated cycles").Add(res.Cycles)
-	reg.Counter("cpu.fetch.instrs", "instructions renamed into the ROB (wrong path included)").Add(res.Fetched)
-	reg.Counter("cpu.issue.instrs", "instructions that began execution").Add(res.Issued)
-	reg.Counter("cpu.commit.retired", "instructions committed").Add(res.Retired)
-	reg.Counter("cpu.commit.squashes", "ROB entries dropped by full squashes").Add(res.Squashed)
-	reg.Counter("cpu.squash.value", "value-misprediction squash events").Add(res.VerifyWrong)
-	reg.Counter("cpu.squash.branch", "branch-misprediction refetch events").Add(res.BranchSquash)
-	reg.Counter("cpu.replay.instrs", "entries re-executed by selective replay").Add(res.Replayed)
-	reg.Counter("cpu.load.misses", "loads served beyond the L1").Add(res.LoadMisses)
-	reg.Counter("cpu.load.forwards", "store-to-load forwards").Add(res.Forwards)
-	reg.Counter("cpu.issue.port_conflicts", "ready instructions stalled on issue ports").Add(res.PortConflicts)
-	reg.Counter("cpu.vps.predictions", "value predictions forwarded").Add(res.Predictions)
-	reg.Counter("cpu.vps.no_predictions", "VPS consultations below confidence").Add(res.NoPredictions)
-	reg.Counter("cpu.vps.correct", "predictions verified correct").Add(res.VerifyCorrect)
-	reg.Counter("cpu.vps.wrong", "predictions verified wrong").Add(res.VerifyWrong)
-	if cycles := reg.Counter("cpu.cycles", "").Value(); cycles > 0 {
-		retired := reg.Counter("cpu.commit.retired", "").Value()
-		reg.Gauge("cpu.ipc", "retired instructions per cycle, from registry totals").Set(float64(retired) / float64(cycles))
+	h := &mm.run
+	h.cycles.Add(res.Cycles)
+	h.fetched.Add(res.Fetched)
+	h.issued.Add(res.Issued)
+	h.retired.Add(res.Retired)
+	h.squashed.Add(res.Squashed)
+	h.squashValue.Add(res.VerifyWrong)
+	h.squashBranch.Add(res.BranchSquash)
+	h.replayed.Add(res.Replayed)
+	h.loadMisses.Add(res.LoadMisses)
+	h.forwards.Add(res.Forwards)
+	h.portConflicts.Add(res.PortConflicts)
+	h.predictions.Add(res.Predictions)
+	h.noPredictions.Add(res.NoPredictions)
+	h.correct.Add(res.VerifyCorrect)
+	h.wrong.Add(res.VerifyWrong)
+	if cycles := h.cycles.Value(); cycles > 0 {
+		h.ipc.Set(float64(h.retired.Value()) / float64(cycles))
 	}
 	m.Hier.PublishMetrics()
 	m.publishPredictor()
@@ -131,21 +210,34 @@ func (m *Machine) publishPredictor() {
 	mm := m.metrics
 	st := m.Pred.Stats()
 	last := &mm.lastPred
-	scope := "pred." + predScope(m.Pred.Name()) + "."
-	reg := mm.reg
-	reg.Counter(scope+"lookups", "Predict consultations").Add(st.Lookups - last.Lookups)
-	reg.Counter(scope+"predictions", "lookups that produced a value").Add(st.Predictions - last.Predictions)
-	reg.Counter(scope+"no_predictions", "lookups below the confidence threshold").Add(st.NoPredictions - last.NoPredictions)
-	reg.Counter(scope+"correct", "verified-correct predictions").Add(st.Correct - last.Correct)
-	reg.Counter(scope+"mispredicts", "verified-incorrect predictions").Add(st.Mispredicts - last.Mispredicts)
-	reg.Counter(scope+"evictions", "usefulness-based table evictions").Add(st.Evictions - last.Evictions)
+	ph := m.predictorHandles()
+	ph.lookups.Add(st.Lookups - last.Lookups)
+	ph.predictions.Add(st.Predictions - last.Predictions)
+	ph.noPredictions.Add(st.NoPredictions - last.NoPredictions)
+	ph.correct.Add(st.Correct - last.Correct)
+	ph.mispredicts.Add(st.Mispredicts - last.Mispredicts)
+	ph.evictions.Add(st.Evictions - last.Evictions)
 	*last = st
-	correct := reg.Counter(scope+"correct", "").Value()
-	wrong := reg.Counter(scope+"mispredicts", "").Value()
+	correct := ph.correct.Value()
+	wrong := ph.mispredicts.Value()
 	if v := correct + wrong; v > 0 {
-		reg.Gauge(scope+"accuracy", "correct / (correct + mispredicts), from registry totals").
-			Set(float64(correct) / float64(v))
+		if ph.accuracy == nil {
+			ph.accuracy = mm.reg.Gauge("pred."+predScope(m.Pred.Name())+".accuracy",
+				"correct / (correct + mispredicts), from registry totals")
+		}
+		ph.accuracy.Set(float64(correct) / float64(v))
 	}
+}
+
+// predictorHandles returns the cached handles for the machine's current
+// predictor, resolving them on first use or after a predictor change.
+func (m *Machine) predictorHandles() *predHandles {
+	mm := m.metrics
+	if name := m.Pred.Name(); mm.predName != name {
+		mm.pred = resolvePredHandles(mm.reg, name)
+		mm.predName = name
+	}
+	return &mm.pred
 }
 
 // FinalizeMetrics records end-of-experiment snapshots that are not
@@ -161,9 +253,12 @@ func (m *Machine) FinalizeMetrics() {
 	if !ok {
 		return
 	}
-	h := mm.reg.Histogram("pred."+predScope(m.Pred.Name())+".confidence",
-		"per-entry confidence counters at finalize time", confBounds)
+	ph := m.predictorHandles()
+	if ph.confidence == nil {
+		ph.confidence = mm.reg.Histogram("pred."+predScope(m.Pred.Name())+".confidence",
+			"per-entry confidence counters at finalize time", confBounds)
+	}
 	for _, c := range cr.ConfidenceCounts() {
-		h.Observe(float64(c))
+		ph.confidence.Observe(float64(c))
 	}
 }

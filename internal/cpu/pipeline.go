@@ -26,7 +26,12 @@ type operand struct {
 	origProd *entry
 }
 
-// entry is a reorder-buffer slot (unified ROB + issue queue).
+// entry is a reorder-buffer slot (unified ROB + issue queue). Entries
+// live in the machine's arena: fetch takes them from a free list and
+// squash (immediately) or commit (once the ROB drains, so in-flight
+// consumers can still re-source from retired producers during replay)
+// returns them, so steady-state simulation allocates nothing per
+// instruction.
 type entry struct {
 	seq   uint64
 	pc    int
@@ -51,6 +56,24 @@ type entry struct {
 	verifyAt    uint64 // cycle the real value returns
 	needInstall bool   // D-type: cache fill deferred to commit
 	fwdFrom     *entry // the store this load forwarded from, if any
+
+	// replayMark stamps membership in a replay closure: an entry is in
+	// the current closure iff replayMark equals the machine's epoch for
+	// that traversal. Stale stamps from earlier epochs (or earlier
+	// lives of a recycled entry) can never collide because the epoch
+	// counter is machine-global and strictly increasing.
+	replayMark uint64
+
+	// inReady tracks membership in the pipeline's ready list so wake
+	// and replay re-sourcing never enqueue an entry twice.
+	inReady bool
+
+	// consumers lists the entries whose unready operands reference this
+	// producer, registered at rename (and at replay re-sourcing); wake
+	// walks this list instead of scanning the whole ROB. Stale pointers
+	// (squashed-and-recycled consumers) are harmless: waking checks the
+	// consumer still names this producer.
+	consumers []*entry
 }
 
 // fullyDone reports whether the entry's result is architecturally
@@ -59,13 +82,136 @@ func (e *entry) fullyDone() bool {
 	return e.state == stDone && (!e.predicted || e.verified)
 }
 
-// pipeline is the per-run execution state.
+// arenaChunk is how many entries one arena growth step allocates.
+const arenaChunk = 256
+
+// entryArena recycles ROB entries across fetches and runs. It is owned
+// by the Machine so the free list survives from one Run to the next:
+// after the first run on a machine the simulator reaches a steady
+// state where fetch never allocates.
+type entryArena struct {
+	free  []*entry
+	chunk []entry
+	total int // entries ever carved from chunks
+}
+
+func (a *entryArena) alloc() *entry {
+	if n := len(a.free); n > 0 {
+		e := a.free[n-1]
+		a.free = a.free[:n-1]
+		return e
+	}
+	if len(a.chunk) == 0 {
+		a.chunk = make([]entry, arenaChunk)
+		a.total += arenaChunk
+		// Reserve free-list capacity for every live entry up front so
+		// releases never regrow it one append at a time.
+		if cap(a.free) < a.total {
+			nf := make([]*entry, len(a.free), a.total)
+			copy(nf, a.free)
+			a.free = nf
+		}
+	}
+	e := &a.chunk[0]
+	a.chunk = a.chunk[1:]
+	return e
+}
+
+// release zeroes the entry (dropping every cross-entry pointer, so a
+// stale reference to a recycled entry can never read as live) and puts
+// it on the free list. The consumers slice keeps its capacity.
+func (a *entryArena) release(e *entry) {
+	cons := e.consumers
+	for i := range cons {
+		cons[i] = nil
+	}
+	*e = entry{consumers: cons[:0]}
+	a.free = append(a.free, e)
+}
+
+// robQ is the reorder buffer: a ring of entry pointers preallocated to
+// cfg.ROBSize, so commit and fetch never move or reallocate storage.
+type robQ struct {
+	buf  []*entry
+	head int
+	n    int
+}
+
+func (q *robQ) init(capacity int) {
+	if len(q.buf) != capacity {
+		q.buf = make([]*entry, capacity)
+	}
+	q.head, q.n = 0, 0
+}
+
+func (q *robQ) len() int { return q.n }
+
+func (q *robQ) at(i int) *entry {
+	j := q.head + i
+	if j >= len(q.buf) {
+		j -= len(q.buf)
+	}
+	return q.buf[j]
+}
+
+func (q *robQ) push(e *entry) {
+	j := q.head + q.n
+	if j >= len(q.buf) {
+		j -= len(q.buf)
+	}
+	q.buf[j] = e
+	q.n++
+}
+
+func (q *robQ) popFront() *entry {
+	e := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.n--
+	return e
+}
+
+// truncate drops every entry at index keep and beyond (a squash).
+func (q *robQ) truncate(keep int) {
+	for i := keep; i < q.n; i++ {
+		j := q.head + i
+		if j >= len(q.buf) {
+			j -= len(q.buf)
+		}
+		q.buf[j] = nil
+	}
+	q.n = keep
+}
+
+// indexOf locates e in the queue by its fetch sequence (entries are
+// strictly seq-ordered, so binary search applies).
+func (q *robQ) indexOf(e *entry) int {
+	lo, hi := 0, q.n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if q.at(mid).seq < e.seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+const never = ^uint64(0)
+
+// pipeline is the per-run execution state. Pipelines are pooled on the
+// Machine and reset between runs, so Run allocates nothing in steady
+// state.
 type pipeline struct {
 	m    *Machine
 	proc *Process
 	cfg  *Config
 
-	rob    []*entry
+	rob    robQ
 	rename [isa.NumRegs]*entry
 	regs   [isa.NumRegs]uint64
 
@@ -75,6 +221,37 @@ type pipeline struct {
 	halted          bool
 	seq             uint64
 	seqBase         uint64 // disambiguates trace seqs across SMT threads
+
+	// ready lists waiting entries whose operands are both available;
+	// issue sorts it by seq (oldest first, the select priority) instead
+	// of scanning the whole ROB every cycle.
+	ready []*entry
+	// fences lists in-flight FENCE entries oldest-first; the oldest
+	// unresolved one is the issue barrier.
+	fences []*entry
+	// retired holds committed entries until the ROB drains: an
+	// in-flight consumer may still re-source a retired producer's final
+	// result during selective replay, so retirement cannot recycle
+	// immediately.
+	retired []*entry
+
+	// nextFinish / nextVerify lower-bound the earliest pending
+	// writeback and verification; the per-cycle scans run only when the
+	// clock reaches them, and event-driven stepping jumps the clock
+	// straight to the next bound when a cycle changes nothing.
+	nextFinish uint64
+	nextVerify uint64
+	// activity records that the current cycle observably changed state
+	// (issue, writeback, verification, fence resolution, commit, fetch
+	// or squash); a cycle with no activity is skippable.
+	activity bool
+	// noSkip disables event-driven cycle skipping when per-cycle
+	// observation is required (Config.CheckInvariants). ConflictSeries
+	// sampling needs no gate: recordConflict marks the cycle active, so
+	// a conflict-bearing cycle is never skipped, and a quiet cycle by
+	// construction records nothing. RunSMT never calls step, so the
+	// shared-budget case cannot skip either (see DESIGN.md §10).
+	noSkip bool
 
 	// 2-bit bimodal direction counters, used when cfg.BimodalBranch.
 	bimodal [512]uint8
@@ -87,8 +264,27 @@ type pipeline struct {
 	res RunResult
 }
 
-func newPipeline(m *Machine, proc *Process) *pipeline {
-	return &pipeline{m: m, proc: proc, cfg: &m.Cfg, regs: proc.Regs}
+// reset prepares a pooled pipeline for a fresh run.
+func (p *pipeline) reset(m *Machine, proc *Process) {
+	p.m, p.proc, p.cfg = m, proc, &m.Cfg
+	p.rob.init(m.Cfg.ROBSize)
+	p.rename = [isa.NumRegs]*entry{}
+	p.regs = proc.Regs
+	p.fetchPC = 0
+	p.fetchStallUntil = 0
+	p.fetchDone = false
+	p.halted = false
+	p.seq, p.seqBase = 0, 0
+	p.ready = p.ready[:0]
+	p.fences = p.fences[:0]
+	p.retired = p.retired[:0]
+	p.nextFinish, p.nextVerify = never, never
+	p.activity = false
+	p.noSkip = m.Cfg.CheckInvariants
+	p.bimodal = [512]uint8{}
+	p.invErr = nil
+	p.lastCommitSeq, p.committedAny = 0, false
+	p.res = RunResult{}
 }
 
 // emit records a pipeline trace event when tracing is enabled.
@@ -109,39 +305,91 @@ func (p *pipeline) ctxFor(e *entry) predictor.Context {
 }
 
 // step advances the machine by one cycle; it returns true when HALT
-// has committed.
+// has committed. When the cycle turns out to be a pure stall (nothing
+// issued, finished, verified, committed or fetched), the clock jumps
+// straight to the next scheduled event — the earliest pending
+// writeback, verification or fetch restart — which is where most of a
+// DRAM miss goes.
 func (p *pipeline) step() (bool, error) {
 	now := p.m.Cycle
-	p.verify(now)
-	p.finish(now)
+	p.activity = false
+	if now >= p.nextVerify {
+		p.verify(now)
+	}
+	if now >= p.nextFinish {
+		p.finish(now)
+	}
 	p.resolveFences()
 	p.commit(now)
-	budget := issueBudget{ports: p.cfg.IssueWidth, mem: p.cfg.MemPorts, mul: p.cfg.MulPorts}
-	if err := p.issue(now, &budget); err != nil {
-		return false, err
+	if len(p.ready) > 0 {
+		budget := issueBudget{ports: p.cfg.IssueWidth, mem: p.cfg.MemPorts, mul: p.cfg.MulPorts}
+		if err := p.issue(now, &budget); err != nil {
+			return false, err
+		}
 	}
 	p.fetch(now)
-	p.m.observeOccupancy(len(p.rob))
+	advance := uint64(1)
+	if !p.activity && !p.halted && !p.noSkip {
+		if t := p.nextEvent(now); t > now+1 {
+			advance = t - now
+		}
+		// Respect the MaxCycles watchdog: land exactly on the budget so
+		// the caller's check fires at the same count it always did. (A
+		// quiet cycle with no scheduled event is a deadlocked pipeline;
+		// nextEvent returns the watchdog bound and the run errors out
+		// without spinning the remaining millions of cycles.)
+		if rem := p.cfg.MaxCycles - p.res.Cycles; advance > rem {
+			advance = rem
+		}
+	}
+	p.m.observeOccupancy(p.rob.len(), advance)
 	if p.cfg.CheckInvariants {
 		if err := p.checkInvariants(); err != nil {
 			return false, err
 		}
 	}
-	p.m.Cycle++
-	p.res.Cycles++
+	p.m.Cycle += advance
+	p.res.Cycles += advance
 	return p.halted, nil
+}
+
+// nextEvent returns the earliest future cycle at which a quiet
+// pipeline can change state: the next writeback, the next
+// verification, or the end of a fetch stall. With no event scheduled
+// the pipeline is deadlocked and the watchdog bound is returned.
+func (p *pipeline) nextEvent(now uint64) uint64 {
+	t := never
+	if p.nextFinish < t {
+		t = p.nextFinish
+	}
+	if p.nextVerify < t {
+		t = p.nextVerify
+	}
+	if !p.fetchDone && p.rob.len() < p.cfg.ROBSize && now < p.fetchStallUntil && p.fetchStallUntil < t {
+		t = p.fetchStallUntil
+	}
+	return t
 }
 
 // verify runs the Prediction Engine Verification (Fig. 1): when the
 // real value of a predicted load returns, the predictor trains and a
-// mismatch squashes all younger instructions.
+// mismatch squashes all younger instructions. The scan also recomputes
+// the next pending verification time, which gates the next scan.
 func (p *pipeline) verify(now uint64) {
-	for i := 0; i < len(p.rob); i++ {
-		e := p.rob[i]
-		if !e.predicted || e.verified || now < e.verifyAt {
+	next := uint64(never)
+	for i := 0; i < p.rob.len(); i++ {
+		e := p.rob.at(i)
+		if !e.predicted || e.verified {
+			continue
+		}
+		if now < e.verifyAt {
+			if e.verifyAt < next {
+				next = e.verifyAt
+			}
 			continue
 		}
 		e.verified = true
+		p.activity = true
 		p.m.Pred.Update(p.ctxFor(e), e.actual, e.pred)
 		if e.pred.Value == e.actual {
 			p.res.VerifyCorrect++
@@ -157,18 +405,28 @@ func (p *pipeline) verify(now uint64) {
 		}
 		p.squashAfter(i, e.pc+1, now+p.cfg.SquashPenalty)
 	}
+	p.nextVerify = next
 }
 
 // finish completes executions whose latency elapsed, broadcasts
 // results, trains the predictor on unpredicted misses, and resolves
-// branches.
+// branches. The scan recomputes the next pending writeback time, which
+// gates the next scan.
 func (p *pipeline) finish(now uint64) {
-	for i := 0; i < len(p.rob); i++ {
-		e := p.rob[i]
-		if e.state != stExecuting || now < e.finishAt {
+	next := uint64(never)
+	for i := 0; i < p.rob.len(); i++ {
+		e := p.rob.at(i)
+		if e.state != stExecuting {
+			continue
+		}
+		if now < e.finishAt {
+			if e.finishAt < next {
+				next = e.finishAt
+			}
 			continue
 		}
 		e.state = stDone
+		p.activity = true
 		p.emit(trace.Writeback, e, now, "")
 		if e.in.Op == isa.LOAD && e.vpsEngaged && !e.predicted {
 			// Training access: the miss completed without a prediction.
@@ -214,6 +472,7 @@ func (p *pipeline) finish(now uint64) {
 			p.wake(e)
 		}
 	}
+	p.nextFinish = next
 }
 
 func (p *pipeline) branchTaken(e *entry) bool {
@@ -231,16 +490,38 @@ func (p *pipeline) branchTaken(e *entry) bool {
 	return false
 }
 
-// wake broadcasts e's result to waiting consumers.
+// wake broadcasts e's result to the consumers registered against it at
+// rename time, instead of scanning the whole ROB. A consumer pointer
+// may be stale (its entry squashed and recycled since registration),
+// so each wake re-checks that the consumer still names e as its
+// producer; recycled entries had their operands zeroed on release and
+// re-register if they genuinely depend on e again.
 func (p *pipeline) wake(e *entry) {
-	for _, x := range p.rob {
+	cons := e.consumers
+	for i, x := range cons {
 		if x.src1.prod == e {
 			x.src1 = operand{ready: true, val: e.result, origProd: e}
 		}
 		if x.src2.prod == e {
 			x.src2 = operand{ready: true, val: e.result, origProd: e}
 		}
+		p.markReady(x)
+		cons[i] = nil
 	}
+	e.consumers = cons[:0]
+}
+
+// markReady puts a waiting entry with both operands available on the
+// ready list (once).
+func (p *pipeline) markReady(e *entry) {
+	if e.inReady || e.state != stWaiting || e.in.Op == isa.FENCE {
+		return
+	}
+	if !e.src1.ready || !e.src2.ready {
+		return
+	}
+	e.inReady = true
+	p.ready = append(p.ready, e)
 }
 
 // resolveFences completes a FENCE only when it reaches the head of the
@@ -251,19 +532,22 @@ func (p *pipeline) wake(e *entry) {
 // channel observe prediction outcomes through FENCE + RDTSC pairs, and
 // what makes FLUSH; FENCE; LOAD a guaranteed miss.
 func (p *pipeline) resolveFences() {
-	if len(p.rob) == 0 {
+	if p.rob.len() == 0 {
 		return
 	}
-	if e := p.rob[0]; e.in.Op == isa.FENCE && e.state != stDone {
+	if e := p.rob.at(0); e.in.Op == isa.FENCE && e.state != stDone {
 		e.state = stDone
+		p.activity = true
 	}
 }
 
 // commit retires fully-done entries in order, applying architectural
-// and non-speculative microarchitectural effects.
+// and non-speculative microarchitectural effects. Retired entries move
+// to the deferred-recycle list and return to the arena when the ROB
+// next drains.
 func (p *pipeline) commit(now uint64) {
-	for n := 0; n < p.cfg.CommitWidth && len(p.rob) > 0; n++ {
-		e := p.rob[0]
+	for n := 0; n < p.cfg.CommitWidth && p.rob.len() > 0; n++ {
+		e := p.rob.at(0)
 		if !e.fullyDone() {
 			return
 		}
@@ -273,13 +557,20 @@ func (p *pipeline) commit(now uint64) {
 			p.m.Hier.InstallDirty(e.paddr)
 		case isa.FLUSH:
 			p.m.Hier.Flush(e.paddr)
-			dbg("%d: commit FLUSH pc=%d paddr=%#x", now, e.pc, e.paddr)
+			if DebugTrace {
+				dbg("%d: commit FLUSH pc=%d paddr=%#x", now, e.pc, e.paddr)
+			}
 		case isa.LOAD:
 			if e.needInstall {
 				p.m.Hier.Install(e.paddr)
 			}
 		case isa.HALT:
 			p.halted = true
+		case isa.FENCE:
+			if len(p.fences) > 0 && p.fences[0] == e {
+				copy(p.fences, p.fences[1:])
+				p.fences = p.fences[:len(p.fences)-1]
+			}
 		}
 		if e.in.Op.WritesDst() && e.in.Dst != isa.R0 {
 			p.regs[e.in.Dst] = e.result
@@ -307,11 +598,20 @@ func (p *pipeline) commit(now uint64) {
 			h(c)
 		}
 		p.emit(trace.Commit, e, now, "")
-		p.rob = p.rob[1:]
+		p.rob.popFront()
+		p.retired = append(p.retired, e)
 		p.res.Retired++
+		p.activity = true
 		if p.halted {
-			return
+			break
 		}
+	}
+	if p.rob.len() == 0 && len(p.retired) > 0 {
+		// Nothing in flight can re-source a retired producer anymore.
+		for _, e := range p.retired {
+			p.m.arena.release(e)
+		}
+		p.retired = p.retired[:0]
 	}
 }
 
@@ -325,50 +625,74 @@ type issueBudget struct {
 	mul   int // the multiply/divide unit's issue slots
 }
 
+// recordConflict counts a ready instruction that could not issue.
+func (p *pipeline) recordConflict() {
+	p.res.PortConflicts++
+	p.activity = true
+	if p.cfg.RecordConflicts {
+		for uint64(len(p.res.ConflictSeries)) <= p.res.Cycles {
+			p.res.ConflictSeries = append(p.res.ConflictSeries, 0)
+		}
+		p.res.ConflictSeries[p.res.Cycles]++
+	}
+}
+
 // issue selects ready entries oldest-first and starts execution,
-// bounded by the cycle's remaining issue ports and memory ports.
+// bounded by the cycle's remaining issue ports and memory ports. Only
+// the ready list is examined — entries enter it at rename, wakeup or
+// replay re-sourcing, never by scanning the ROB.
 func (p *pipeline) issue(now uint64, budget *issueBudget) error {
-	// Entries younger than an unresolved FENCE may not issue.
-	fenceIdx := len(p.rob)
-	for i, e := range p.rob {
-		if e.in.Op == isa.FENCE && e.state != stDone {
-			fenceIdx = i
+	// Entries younger than the oldest unresolved FENCE may not issue.
+	barrier := uint64(never)
+	for _, f := range p.fences {
+		if f.state != stDone {
+			barrier = f.seq
 			break
 		}
 	}
-	for i := 0; i < len(p.rob); i++ {
-		if i > fenceIdx {
-			break
+	// Oldest-first select priority. Insertion sort: the list is small
+	// and usually already ordered.
+	ready := p.ready
+	for i := 1; i < len(ready); i++ {
+		for j := i; j > 0 && ready[j-1].seq > ready[j].seq; j-- {
+			ready[j-1], ready[j] = ready[j], ready[j-1]
 		}
-		e := p.rob[i]
-		if e.state != stWaiting || e.in.Op == isa.FENCE {
+	}
+	kept := ready[:0]
+	for idx := 0; idx < len(ready); idx++ {
+		e := ready[idx]
+		// Replay re-sourcing can take a listed entry's operands away
+		// again; drop it — wake will relist it.
+		if e.state != stWaiting || !e.src1.ready || !e.src2.ready {
+			e.inReady = false
 			continue
 		}
-		if !e.src1.ready || !e.src2.ready {
+		if e.seq > barrier {
+			kept = append(kept, e)
 			continue
 		}
 		if budget.ports <= 0 {
 			// Ready but no issue port left this cycle: the structural
 			// contention an SMT co-runner feels (volatile channel).
-			p.res.PortConflicts++
-			if p.cfg.RecordConflicts {
-				for uint64(len(p.res.ConflictSeries)) <= p.res.Cycles {
-					p.res.ConflictSeries = append(p.res.ConflictSeries, 0)
-				}
-				p.res.ConflictSeries[p.res.Cycles]++
-			}
+			p.recordConflict()
+			kept = append(kept, e)
 			continue
 		}
 		switch e.in.Op {
 		case isa.LOAD, isa.STORE, isa.FLUSH:
 			if budget.mem <= 0 {
+				kept = append(kept, e)
 				continue
 			}
-			ok, err := p.issueMem(e, i, now)
+			ok, err := p.issueMem(e, p.rob.indexOf(e), now)
 			if err != nil {
+				// Preserve the list across the error return.
+				kept = append(kept, ready[idx:]...)
+				p.ready = kept
 				return err
 			}
 			if !ok {
+				kept = append(kept, e)
 				continue
 			}
 			budget.mem--
@@ -377,13 +701,8 @@ func (p *pipeline) issue(now uint64, budget *issueBudget) error {
 			// the port-type asymmetry SMoTherSpectre-style fingerprinting
 			// keys on.
 			if budget.mul <= 0 {
-				p.res.PortConflicts++
-				if p.cfg.RecordConflicts {
-					for uint64(len(p.res.ConflictSeries)) <= p.res.Cycles {
-						p.res.ConflictSeries = append(p.res.ConflictSeries, 0)
-					}
-					p.res.ConflictSeries[p.res.Cycles]++
-				}
+				p.recordConflict()
+				kept = append(kept, e)
 				continue
 			}
 			budget.mul--
@@ -393,14 +712,15 @@ func (p *pipeline) issue(now uint64, budget *issueBudget) error {
 		case isa.RDTSC:
 			// Serializing read of the time base: waits for all older
 			// instructions, like rdtscp.
-			ready := true
-			for _, o := range p.rob[:i] {
-				if !o.fullyDone() {
-					ready = false
+			olderDone := true
+			for j := p.rob.indexOf(e) - 1; j >= 0; j-- {
+				if !p.rob.at(j).fullyDone() {
+					olderDone = false
 					break
 				}
 			}
-			if !ready {
+			if !olderDone {
+				kept = append(kept, e)
 				continue
 			}
 			e.result = now
@@ -411,10 +731,16 @@ func (p *pipeline) issue(now uint64, budget *issueBudget) error {
 			e.state = stExecuting
 			e.finishAt = now + p.aluLatency(e.in.Op)
 		}
+		e.inReady = false
+		if e.finishAt < p.nextFinish {
+			p.nextFinish = e.finishAt
+		}
 		p.emit(trace.Issue, e, now, "")
 		p.res.Issued++
+		p.activity = true
 		budget.ports--
 	}
+	p.ready = kept
 	return nil
 }
 
@@ -493,7 +819,9 @@ func (p *pipeline) issueMem(e *entry, idx int, now uint64) (bool, error) {
 		// Address (and data, for stores) computed; effects at commit.
 		e.state = stExecuting
 		e.finishAt = now + 1
-		dbg("%d: issue %v pc=%d paddr=%#x", now, e.in.Op, e.pc, e.paddr)
+		if DebugTrace {
+			dbg("%d: issue %v pc=%d paddr=%#x", now, e.in.Op, e.pc, e.paddr)
+		}
 		return true, nil
 	}
 
@@ -501,7 +829,7 @@ func (p *pipeline) issueMem(e *entry, idx int, now uint64) (bool, error) {
 	// known addresses; the youngest older store to the same word
 	// forwards its data.
 	for j := idx - 1; j >= 0; j-- {
-		s := p.rob[j]
+		s := p.rob.at(j)
 		if s.in.Op != isa.STORE {
 			continue
 		}
@@ -531,7 +859,9 @@ func (p *pipeline) issueMem(e *entry, idx int, now uint64) (bool, error) {
 
 	install := !p.cfg.DelaySideEffects
 	lat, served := p.m.Hier.Access(e.paddr, install)
-	dbg("%d: issue LOAD pc=%d paddr=%#x served=%v lat=%d", now, e.pc, e.paddr, served, lat)
+	if DebugTrace {
+		dbg("%d: issue LOAD pc=%d paddr=%#x served=%v lat=%d", now, e.pc, e.paddr, served, lat)
+	}
 	if served == mem.LevelMem && p.m.Noise.MemJitter > 0 {
 		lat += uint64(p.m.Rng.Int63n(int64(p.m.Noise.MemJitter) + 1))
 	} else if served != mem.LevelMem && p.m.Noise.HitJitter > 0 {
@@ -566,6 +896,9 @@ func (p *pipeline) issueMem(e *entry, idx int, now uint64) (bool, error) {
 		e.result = pred.Value
 		e.finishAt = now + 1
 		e.verifyAt = now + lat
+		if e.verifyAt < p.nextVerify {
+			p.nextVerify = e.verifyAt
+		}
 		p.res.Predictions++
 	} else {
 		e.result = e.actual
@@ -581,7 +914,8 @@ func (p *pipeline) issueMem(e *entry, idx int, now uint64) (bool, error) {
 func (p *pipeline) outstandingMisses() int {
 	n := 0
 	now := p.m.Cycle
-	for _, e := range p.rob {
+	for i := 0; i < p.rob.len(); i++ {
+		e := p.rob.at(i)
 		if !e.missLoad {
 			continue
 		}
@@ -604,24 +938,33 @@ func (p *pipeline) outstandingMisses() int {
 // result. Side effects its speculative execution already caused (cache
 // fills of wrong-path dependent loads) remain — the transient channel
 // exists under selective replay too.
+//
+// Closure membership is an epoch stamp on the entry rather than a
+// side-table: the machine's epoch counter is bumped per traversal, the
+// mispredicted load is stamped, and each younger entry joins by
+// carrying a stamped producer. The traversal is a single pass in ROB
+// (= fetch sequence) order, so replay is allocation-free and its order
+// is deterministic by seq.
 func (p *pipeline) replayDependents(load *entry, idx int, now uint64) {
-	affected := map[*entry]bool{load: true}
+	p.m.replayEpoch++
+	epoch := p.m.replayEpoch
+	load.replayMark = epoch
 	// Once a store with an affected ADDRESS is replayed, every younger
 	// load's disambiguation decision is suspect: replay them all.
 	storeAddrHazard := false
-	for j := idx + 1; j < len(p.rob); j++ {
-		e := p.rob[j]
-		hit := affected[e.src1.origProd] || affected[e.src2.origProd] ||
-			affected[e.fwdFrom] // store-buffer forwards carry data too
+	for j := idx + 1; j < p.rob.len(); j++ {
+		e := p.rob.at(j)
+		hit := marked(e.src1.origProd, epoch) || marked(e.src2.origProd, epoch) ||
+			marked(e.fwdFrom, epoch) // store-buffer forwards carry data too
 		if e.in.Op == isa.LOAD && storeAddrHazard {
 			hit = true
 		}
 		if !hit {
 			continue
 		}
-		affected[e] = true
+		e.replayMark = epoch
 		p.res.Replayed++
-		if e.in.Op == isa.STORE && affected[e.src1.origProd] {
+		if e.in.Op == isa.STORE && marked(e.src1.origProd, epoch) {
 			storeAddrHazard = true
 		}
 		if e.state != stWaiting {
@@ -629,6 +972,11 @@ func (p *pipeline) replayDependents(load *entry, idx int, now uint64) {
 		}
 		p.resetForReplay(e)
 	}
+}
+
+// marked reports membership in the replay closure of the given epoch.
+func marked(e *entry, epoch uint64) bool {
+	return e != nil && e.replayMark == epoch
 }
 
 // resetForReplay returns an entry to the waiting state with operands
@@ -641,6 +989,7 @@ func (p *pipeline) resetForReplay(e *entry) {
 		if o.origProd.fullyDone() {
 			*o = operand{ready: true, val: o.origProd.result, origProd: o.origProd}
 		} else {
+			o.origProd.consumers = append(o.origProd.consumers, e)
 			*o = operand{ready: false, prod: o.origProd, origProd: o.origProd}
 		}
 	}
@@ -654,22 +1003,44 @@ func (p *pipeline) resetForReplay(e *entry) {
 	e.needInstall = false
 	e.fwdFrom = nil
 	e.finishAt = 0
+	p.markReady(e)
 }
 
 // squashAfter drops every entry younger than rob[idx], rebuilds the
-// rename map, and redirects fetch to newPC after stallUntil.
+// rename map, and redirects fetch to newPC after stallUntil. Squashed
+// entries return to the arena immediately: only younger entries could
+// reference them, and those are squashed with them.
 func (p *pipeline) squashAfter(idx int, newPC int, stallUntil uint64) {
+	cutoff := p.rob.at(idx).seq
 	if p.m.Tracer.Enabled() {
-		for _, e := range p.rob[idx+1:] {
-			p.emit(trace.Squash, e, p.m.Cycle, "")
+		for i := idx + 1; i < p.rob.len(); i++ {
+			p.emit(trace.Squash, p.rob.at(i), p.m.Cycle, "")
 		}
 	}
-	p.res.Squashed += uint64(len(p.rob) - idx - 1)
-	p.rob = p.rob[:idx+1]
+	p.res.Squashed += uint64(p.rob.len() - idx - 1)
+	// Purge the ready and fence lists of squashed entries before the
+	// entries themselves are recycled.
+	kept := p.ready[:0]
+	for _, e := range p.ready {
+		if e.seq <= cutoff {
+			kept = append(kept, e)
+		} else {
+			e.inReady = false
+		}
+	}
+	p.ready = kept
+	for len(p.fences) > 0 && p.fences[len(p.fences)-1].seq > cutoff {
+		p.fences = p.fences[:len(p.fences)-1]
+	}
+	for i := idx + 1; i < p.rob.len(); i++ {
+		p.m.arena.release(p.rob.at(i))
+	}
+	p.rob.truncate(idx + 1)
 	for r := range p.rename {
 		p.rename[r] = nil
 	}
-	for _, e := range p.rob {
+	for i := 0; i < p.rob.len(); i++ {
+		e := p.rob.at(i)
 		if e.in.Op.WritesDst() && e.in.Dst != isa.R0 {
 			p.rename[e.in.Dst] = e
 		}
@@ -680,27 +1051,30 @@ func (p *pipeline) squashAfter(idx int, newPC int, stallUntil uint64) {
 	}
 	p.fetchDone = false
 	p.halted = false
+	p.activity = true
 }
 
 // fetch renames up to FetchWidth instructions into the ROB, following
 // unconditional jumps immediately and predicting conditional branches
-// not-taken.
+// not-taken. Entries come from the machine's arena.
 func (p *pipeline) fetch(now uint64) {
 	if p.fetchDone || now < p.fetchStallUntil {
 		return
 	}
-	for n := 0; n < p.cfg.FetchWidth && len(p.rob) < p.cfg.ROBSize && !p.fetchDone; n++ {
+	for n := 0; n < p.cfg.FetchWidth && p.rob.len() < p.cfg.ROBSize && !p.fetchDone; n++ {
 		if p.fetchPC < 0 || p.fetchPC >= len(p.proc.Prog.Code) {
 			// Validate guarantees HALT-terminated programs; reaching
 			// here means a squash redirected past the end.
 			p.fetchDone = true
+			p.activity = true
 			return
 		}
 		in := p.proc.Prog.Code[p.fetchPC]
-		e := &entry{seq: p.seqBase + p.seq, pc: p.fetchPC, in: in}
+		e := p.m.arena.alloc()
+		e.seq, e.pc, e.in = p.seqBase+p.seq, p.fetchPC, in
 		p.seq++
-		e.src1 = p.capture(in.Src1, in.Op.ReadsSrc1())
-		e.src2 = p.capture(in.Src2, in.Op.ReadsSrc2())
+		e.src1 = p.capture(in.Src1, in.Op.ReadsSrc1(), e)
+		e.src2 = p.capture(in.Src2, in.Op.ReadsSrc2(), e)
 
 		switch in.Op {
 		case isa.JMP:
@@ -731,19 +1105,28 @@ func (p *pipeline) fetch(now uint64) {
 			p.fetchPC++
 		}
 		e.nextPC = p.fetchPC
-		p.emit(trace.Fetch, e, now, in.String())
-		p.rob = append(p.rob, e)
+		if p.m.Tracer.Enabled() {
+			// Build the disassembly text only when someone records it.
+			p.emit(trace.Fetch, e, now, in.String())
+		}
+		p.rob.push(e)
 		p.res.Fetched++
+		p.activity = true
+		if in.Op == isa.FENCE {
+			p.fences = append(p.fences, e)
+		}
 		if in.Op.WritesDst() && in.Dst != isa.R0 {
 			p.rename[in.Dst] = e
 		}
+		p.markReady(e)
 	}
 }
 
 // capture resolves a source register at rename time: a concrete value
 // from the architectural file or a completed producer, or a tag on the
-// in-flight producer.
-func (p *pipeline) capture(r isa.Reg, needed bool) operand {
+// in-flight producer — in which case the consumer is registered on the
+// producer's wakeup list.
+func (p *pipeline) capture(r isa.Reg, needed bool, consumer *entry) operand {
 	if !needed || r == isa.R0 {
 		return operand{ready: true}
 	}
@@ -751,6 +1134,7 @@ func (p *pipeline) capture(r isa.Reg, needed bool) operand {
 		if prod.state == stDone {
 			return operand{ready: true, val: prod.result, origProd: prod}
 		}
+		prod.consumers = append(prod.consumers, consumer)
 		return operand{ready: false, prod: prod, origProd: prod}
 	}
 	return operand{ready: true, val: p.regs[r]}

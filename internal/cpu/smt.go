@@ -10,15 +10,27 @@ import "fmt"
 // cycle (round-robin fairness). When one thread halts, the other keeps
 // the full machine to itself.
 //
+// The loop ticks cycle by cycle — event-driven skipping is never legal
+// here, because a cycle that is quiet for one hardware thread can
+// still be consumed (observably, through the shared issue budget) by
+// its peer.
+//
 // The per-thread RunResults count only the cycles during which that
 // thread was still running.
 func (m *Machine) RunSMT(a, b *Process) (RunResult, RunResult, error) {
-	pa := newPipeline(m, a)
-	pb := newPipeline(m, b)
+	pa := m.getPipeline(a)
+	pb := m.getPipeline(b)
 	// Keep trace sequence numbers disjoint between the two hardware
 	// threads.
 	pb.seqBase = 1 << 32
 	doneA, doneB := false, false
+
+	finish := func(err error) (RunResult, RunResult, error) {
+		ra, rb := pa.res, pb.res
+		m.putPipeline(pa)
+		m.putPipeline(pb)
+		return ra, rb, err
+	}
 
 	var guard uint64
 	for !doneA || !doneB {
@@ -38,12 +50,18 @@ func (m *Machine) RunSMT(a, b *Process) (RunResult, RunResult, error) {
 			if *t.done {
 				continue
 			}
-			t.p.verify(now)
-			t.p.finish(now)
+			if now >= t.p.nextVerify {
+				t.p.verify(now)
+			}
+			if now >= t.p.nextFinish {
+				t.p.finish(now)
+			}
 			t.p.resolveFences()
 			t.p.commit(now)
-			if err := t.p.issue(now, &budget); err != nil {
-				return pa.res, pb.res, err
+			if len(t.p.ready) > 0 {
+				if err := t.p.issue(now, &budget); err != nil {
+					return finish(err)
+				}
 			}
 			t.p.fetch(now)
 			t.p.res.Cycles++
@@ -54,12 +72,12 @@ func (m *Machine) RunSMT(a, b *Process) (RunResult, RunResult, error) {
 		m.Cycle++
 		guard++
 		if guard >= m.Cfg.MaxCycles {
-			return pa.res, pb.res, fmt.Errorf("cpu: SMT run exceeded %d cycles", m.Cfg.MaxCycles)
+			return finish(fmt.Errorf("cpu: SMT run exceeded %d cycles", m.Cfg.MaxCycles))
 		}
 	}
 	a.Regs = pa.regs
 	pa.res.Regs = pa.regs
 	b.Regs = pb.regs
 	pb.res.Regs = pb.regs
-	return pa.res, pb.res, nil
+	return finish(nil)
 }

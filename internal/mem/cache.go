@@ -96,10 +96,14 @@ type cacheLine struct {
 }
 
 // Cache is one set-associative, timing-only cache level with a
-// configurable replacement policy.
+// configurable replacement policy. All sets live in one flat line
+// array (set s occupies lines[s*Ways : (s+1)*Ways]), so building a
+// cache is a single allocation — the simulator rebuilds hierarchies
+// per experiment trial, and per-set slices used to dominate its
+// allocation profile.
 type Cache struct {
 	cfg   CacheConfig
-	sets  [][]cacheLine
+	lines []cacheLine
 	tick  uint64
 	rng   *rand.Rand
 	Stats CacheStats
@@ -110,11 +114,7 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	sets := make([][]cacheLine, cfg.Sets)
-	for i := range sets {
-		sets[i] = make([]cacheLine, cfg.Ways)
-	}
-	c := &Cache{cfg: cfg, sets: sets}
+	c := &Cache{cfg: cfg, lines: make([]cacheLine, cfg.Sets*cfg.Ways)}
 	if cfg.Policy == Random {
 		c.rng = rand.New(rand.NewSource(cfg.Seed))
 	}
@@ -129,13 +129,19 @@ func (c *Cache) index(addr uint64) (set int, tag uint64) {
 	return int(line % uint64(c.cfg.Sets)), line / uint64(c.cfg.Sets)
 }
 
+// set returns the ways of one set as a subslice of the flat array.
+func (c *Cache) set(s int) []cacheLine {
+	return c.lines[s*c.cfg.Ways : (s+1)*c.cfg.Ways]
+}
+
 // Lookup probes the cache. On a hit it refreshes LRU state and returns
 // true; on a miss it returns false without modifying the set.
 func (c *Cache) Lookup(addr uint64) bool {
-	set, tag := c.index(addr)
+	s, tag := c.index(addr)
+	ways := c.set(s)
 	c.tick++
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
+	for i := range ways {
+		l := &ways[i]
 		if l.valid && l.tag == tag {
 			if c.cfg.Policy == LRU {
 				l.lru = c.tick // FIFO/Random hits do not refresh
@@ -151,9 +157,10 @@ func (c *Cache) Lookup(addr uint64) bool {
 // Contains reports presence without touching LRU or statistics (for
 // tests and introspection).
 func (c *Cache) Contains(addr uint64) bool {
-	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
+	s, tag := c.index(addr)
+	ways := c.set(s)
+	for i := range ways {
+		l := &ways[i]
 		if l.valid && l.tag == tag {
 			return true
 		}
@@ -175,11 +182,12 @@ func (c *Cache) InsertDirty(addr uint64) (evicted uint64, wasEvicted bool) {
 }
 
 func (c *Cache) insert(addr uint64, dirty bool) (evicted uint64, wasEvicted bool) {
-	set, tag := c.index(addr)
+	s, tag := c.index(addr)
+	ways := c.set(s)
 	c.tick++
 	// Already present: refresh.
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
+	for i := range ways {
+		l := &ways[i]
 		if l.valid && l.tag == tag {
 			l.lru = c.tick
 			l.dirty = l.dirty || dirty
@@ -187,8 +195,8 @@ func (c *Cache) insert(addr uint64, dirty bool) (evicted uint64, wasEvicted bool
 		}
 	}
 	victim := -1
-	for i := range c.sets[set] {
-		if !c.sets[set][i].valid {
+	for i := range ways {
+		if !ways[i].valid {
 			victim = i
 			break
 		}
@@ -199,20 +207,20 @@ func (c *Cache) insert(addr uint64, dirty bool) (evicted uint64, wasEvicted bool
 			victim = c.rng.Intn(c.cfg.Ways)
 		default: // LRU and FIFO both evict the smallest tick: last
 			// touch for LRU, insertion time for FIFO.
-			for i := range c.sets[set] {
-				if victim < 0 || c.sets[set][i].lru < c.sets[set][victim].lru {
+			for i := range ways {
+				if victim < 0 || ways[i].lru < ways[victim].lru {
 					victim = i
 				}
 			}
 		}
 	}
-	v := &c.sets[set][victim]
+	v := &ways[victim]
 	if v.valid {
 		c.Stats.Evictions++
 		if v.dirty {
 			c.Stats.Writebacks++
 		}
-		evicted = (v.tag*uint64(c.cfg.Sets) + uint64(set)) * c.cfg.LineBytes
+		evicted = (v.tag*uint64(c.cfg.Sets) + uint64(s)) * c.cfg.LineBytes
 		wasEvicted = true
 	}
 	*v = cacheLine{valid: true, dirty: dirty, tag: tag, lru: c.tick}
@@ -222,9 +230,10 @@ func (c *Cache) insert(addr uint64, dirty bool) (evicted uint64, wasEvicted bool
 // Flush evicts the line containing addr if present (clflush), and
 // reports whether it was present.
 func (c *Cache) Flush(addr uint64) bool {
-	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
+	s, tag := c.index(addr)
+	ways := c.set(s)
+	for i := range ways {
+		l := &ways[i]
 		if l.valid && l.tag == tag {
 			if l.dirty {
 				c.Stats.Writebacks++
@@ -240,10 +249,19 @@ func (c *Cache) Flush(addr uint64) bool {
 
 // InvalidateAll empties the cache (e.g. between experiment runs).
 func (c *Cache) InvalidateAll() {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			c.sets[s][w] = cacheLine{}
-		}
+	clear(c.lines)
+}
+
+// Reset restores the cache to its just-built state: all lines invalid,
+// the LRU clock and statistics at zero, and (for the Random policy) the
+// replacement RNG reseeded — so a recycled cache behaves bit-identically
+// to a new one.
+func (c *Cache) Reset() {
+	clear(c.lines)
+	c.tick = 0
+	c.Stats.Reset()
+	if c.cfg.Policy == Random {
+		c.rng = rand.New(rand.NewSource(c.cfg.Seed))
 	}
 }
 

@@ -2,40 +2,105 @@ package mem
 
 import "fmt"
 
-// Memory is the backing store: a sparse 64-bit word map plus a fixed
-// access latency (DRAM).
+// memPageShift sizes memory pages: one page covers 2^memPageShift
+// consecutive word addresses (the programs in this repo address words
+// at byte granularity, so pages are keyed by address, not address/8).
+const memPageShift = 10
+
+// memPageSize is the number of addressable words per page.
+const memPageSize = 1 << memPageShift
+
+// memPage is one allocated span of the sparse address space.
+type memPage struct {
+	words [memPageSize]uint64
+}
+
+// Memory is the backing store: a sparse 64-bit word space plus a fixed
+// access latency (DRAM). Storage is paged — the page table is a map,
+// but the hot path is an O(1) slice index within the last-touched page,
+// and reads of never-written pages allocate nothing.
 type Memory struct {
 	Latency uint64
-	words   map[uint64]uint64
+	pages   map[uint64]*memPage
+	lastNum uint64   // page number of last, when last != nil
+	last    *memPage // most recently touched page (spatial locality)
 	Reads   uint64
 	Writes  uint64
 }
 
 // NewMemory returns an empty memory with the given access latency.
 func NewMemory(latency uint64) *Memory {
-	return &Memory{Latency: latency, words: make(map[uint64]uint64)}
+	return &Memory{Latency: latency, pages: make(map[uint64]*memPage)}
+}
+
+// page returns the page holding addr, or nil if never written.
+func (m *Memory) page(addr uint64) *memPage {
+	num := addr >> memPageShift
+	if m.last != nil && m.lastNum == num {
+		return m.last
+	}
+	p := m.pages[num]
+	if p != nil {
+		m.lastNum, m.last = num, p
+	}
+	return p
 }
 
 // Read returns the 64-bit word at addr (zero if never written).
 func (m *Memory) Read(addr uint64) uint64 {
 	m.Reads++
-	return m.words[addr]
+	if p := m.page(addr); p != nil {
+		return p.words[addr&(memPageSize-1)]
+	}
+	return 0
 }
 
 // Write stores a 64-bit word at addr.
 func (m *Memory) Write(addr, v uint64) {
 	m.Writes++
-	m.words[addr] = v
+	p := m.page(addr)
+	if p == nil {
+		p = new(memPage)
+		num := addr >> memPageShift
+		m.pages[num] = p
+		m.lastNum, m.last = num, p
+	}
+	p.words[addr&(memPageSize-1)] = v
 }
 
 // Peek reads without counting (for assertions and result extraction).
-func (m *Memory) Peek(addr uint64) uint64 { return m.words[addr] }
+func (m *Memory) Peek(addr uint64) uint64 {
+	if p := m.page(addr); p != nil {
+		return p.words[addr&(memPageSize-1)]
+	}
+	return 0
+}
 
-// Snapshot copies the memory contents (for golden-model comparison).
+// Reset restores the memory to its as-new state while keeping its page
+// storage allocated: every word reads as zero again and the counters
+// clear. Recycling pages across experiment trials removes what used to
+// be the dominant allocation source of trial construction.
+func (m *Memory) Reset() {
+	for _, p := range m.pages {
+		*p = memPage{}
+	}
+	m.Reads, m.Writes = 0, 0
+}
+
+// Snapshot copies the live (nonzero) memory contents for golden-model
+// comparison. Words that were never written read as zero, so a
+// snapshot omitting zero-valued words is equivalent under the
+// read-as-zero semantics every consumer (the differential oracle
+// included) already assumes.
 func (m *Memory) Snapshot() map[uint64]uint64 {
-	out := make(map[uint64]uint64, len(m.words))
-	for a, v := range m.words {
-		out[a] = v
+	out := make(map[uint64]uint64)
+	for num, p := range m.pages {
+		base := num << memPageShift
+		for i, v := range p.words {
+			if v != 0 {
+				out[base+uint64(i)] = v
+			}
+		}
 	}
 	return out
 }
@@ -48,16 +113,24 @@ type TLBConfig struct {
 	MissLatency uint64 // page-walk penalty added on a miss
 }
 
+// tlbEntry is one translation: a page number and its last-touch tick.
+type tlbEntry struct {
+	page uint64
+	last uint64
+}
+
 // TLB is a fully-associative LRU translation cache. Translation itself
 // is identity (the Machine applies per-process physical offsets), so
 // the TLB contributes timing only — enough for the paper's threat
-// model, which assumes virtual-address-indexed predictors.
+// model, which assumes virtual-address-indexed predictors. The entry
+// array is a fixed slice scanned linearly: at the default 64 entries
+// that is faster than any map, and Access never allocates.
 type TLB struct {
-	cfg   TLBConfig
-	pages map[uint64]uint64 // page number -> last-touch tick
-	tick  uint64
-	Hits  uint64
-	Miss  uint64
+	cfg  TLBConfig
+	ents []tlbEntry // valid entries; capacity fixed at cfg.Entries
+	tick uint64
+	Hits uint64
+	Miss uint64
 }
 
 // NewTLB builds a TLB from cfg.
@@ -68,36 +141,47 @@ func NewTLB(cfg TLBConfig) (*TLB, error) {
 	if cfg.PageBytes == 0 || cfg.PageBytes&(cfg.PageBytes-1) != 0 {
 		return nil, fmt.Errorf("mem: tlb page size %d not a power of two", cfg.PageBytes)
 	}
-	return &TLB{cfg: cfg, pages: make(map[uint64]uint64)}, nil
+	return &TLB{cfg: cfg, ents: make([]tlbEntry, 0, cfg.Entries)}, nil
 }
 
 // Access translates addr, returning the latency contribution.
 func (t *TLB) Access(addr uint64) uint64 {
 	page := addr / t.cfg.PageBytes
 	t.tick++
-	if _, ok := t.pages[page]; ok {
-		t.pages[page] = t.tick
-		t.Hits++
-		return t.cfg.HitLatency
+	for i := range t.ents {
+		if t.ents[i].page == page {
+			t.ents[i].last = t.tick
+			t.Hits++
+			return t.cfg.HitLatency
+		}
 	}
 	t.Miss++
-	if len(t.pages) >= t.cfg.Entries {
-		var victim uint64
-		oldest := ^uint64(0)
-		for p, last := range t.pages {
-			if last < oldest {
-				oldest = last
-				victim = p
+	if len(t.ents) >= t.cfg.Entries {
+		// Evict the least recently used entry (ticks are unique, so the
+		// victim is the same one the map-based implementation chose).
+		victim := 0
+		for i := 1; i < len(t.ents); i++ {
+			if t.ents[i].last < t.ents[victim].last {
+				victim = i
 			}
 		}
-		delete(t.pages, victim)
+		t.ents[victim] = tlbEntry{page: page, last: t.tick}
+		return t.cfg.MissLatency
 	}
-	t.pages[page] = t.tick
+	t.ents = append(t.ents, tlbEntry{page: page, last: t.tick})
 	return t.cfg.MissLatency
 }
 
 // InvalidateAll empties the TLB.
-func (t *TLB) InvalidateAll() { t.pages = make(map[uint64]uint64) }
+func (t *TLB) InvalidateAll() { t.ents = t.ents[:0] }
+
+// Reset restores the TLB to its just-built state: empty, with the LRU
+// clock and counters at zero.
+func (t *TLB) Reset() {
+	t.ents = t.ents[:0]
+	t.tick = 0
+	t.Hits, t.Miss = 0, 0
+}
 
 // Level identifies where an access was satisfied.
 type Level int
@@ -143,8 +227,11 @@ type Hierarchy struct {
 	Invalidations uint64
 
 	// metrics, when attached (AttachMetrics), records per-level access
-	// latency histograms and publishes the counters above.
-	metrics *hierMetrics
+	// latency histograms and publishes the counters above. metricsCache
+	// survives Reset so a pooled hierarchy re-attaching to the same
+	// registry reuses its resolved handles.
+	metrics      *hierMetrics
+	metricsCache *hierMetrics
 }
 
 // AttachPeer links two per-core hierarchies that share an L2 and
@@ -185,6 +272,27 @@ func NewMulticore(n int) []*Hierarchy {
 		}
 	}
 	return out
+}
+
+// Reset restores an unshared hierarchy to its just-built state: cold
+// caches and TLB, zeroed memory and counters, prefetcher off, no
+// metrics sink. It lets one hierarchy be recycled across independent
+// experiment trials without re-allocating its line arrays and pages.
+// Peer links are left alone, so multicore hierarchies sharing an L2
+// should not be pooled this way.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	if h.L2 != nil {
+		h.L2.Reset()
+	}
+	if h.TLB != nil {
+		h.TLB.Reset()
+	}
+	h.Mem.Reset()
+	h.NextLinePrefetch = false
+	h.Prefetches = 0
+	h.Invalidations = 0
+	h.metrics = nil
 }
 
 // invalidatePeers removes addr's line from every peer L1.

@@ -30,6 +30,41 @@ type latTally struct {
 	count  uint64
 }
 
+// cacheHandles are one cache scope's resolved registry handles, so the
+// per-publish path is pure pointer adds with no name construction.
+type cacheHandles struct {
+	hits, misses, evictions *metrics.Counter
+	flushes, writebacks     *metrics.Counter
+	hitRate                 *metrics.Gauge
+}
+
+func resolveCacheHandles(reg *metrics.Registry, scope string) cacheHandles {
+	return cacheHandles{
+		hits:       reg.Counter("mem."+scope+".hits", "cache hits"),
+		misses:     reg.Counter("mem."+scope+".misses", "cache misses"),
+		evictions:  reg.Counter("mem."+scope+".evictions", "lines evicted"),
+		flushes:    reg.Counter("mem."+scope+".flushes", "lines flushed (clflush)"),
+		writebacks: reg.Counter("mem."+scope+".writebacks", "dirty lines written back"),
+		hitRate:    reg.Gauge("mem."+scope+".hit_rate", "hits / (hits+misses)"),
+	}
+}
+
+// publishDelta adds the change in st since last and refreshes the
+// hit-rate gauge from the registry's own (shared) totals.
+func (ch *cacheHandles) publishDelta(st CacheStats, last *CacheStats) {
+	ch.hits.Add(st.Hits - last.Hits)
+	ch.misses.Add(st.Misses - last.Misses)
+	ch.evictions.Add(st.Evictions - last.Evictions)
+	ch.flushes.Add(st.Flushes - last.Flushes)
+	ch.writebacks.Add(st.Writebacks - last.Writebacks)
+	*last = st
+	hits := ch.hits.Value()
+	misses := ch.misses.Value()
+	if total := hits + misses; total > 0 {
+		ch.hitRate.Set(float64(hits) / float64(total))
+	}
+}
+
 // hierMetrics holds the hierarchy's registry handles plus the
 // last-published copy of each cumulative stat block, so PublishMetrics
 // adds exact deltas and may be called any number of times (counters in
@@ -38,6 +73,11 @@ type hierMetrics struct {
 	reg     *metrics.Registry
 	latency [3]*metrics.Histogram // indexed by Level
 	tally   [3]latTally
+
+	l1, l2                   cacheHandles
+	tlbHits, tlbMisses       *metrics.Counter
+	dramReads, dramWrites    *metrics.Counter
+	prefetches, invalidation *metrics.Counter
 
 	lastL1, lastL2           CacheStats
 	lastTLBHits, lastTLBMiss uint64
@@ -56,7 +96,26 @@ func scopeName(s string) string {
 // PublishMetrics forwards the cache/TLB/DRAM counters. Attach one
 // hierarchy per shared L2 — peers publishing the same shared cache
 // would double-count it.
+//
+// Re-attaching to the same registry (a pooled hierarchy starting a new
+// trial) reuses the resolved handles and zeroes the delta trackers, so
+// the observable state matches a fresh attach.
 func (h *Hierarchy) AttachMetrics(reg *metrics.Registry) {
+	if m := h.metricsCache; m != nil && m.reg == reg {
+		m.lastL1, m.lastL2 = CacheStats{}, CacheStats{}
+		m.lastTLBHits, m.lastTLBMiss = 0, 0
+		m.lastReads, m.lastWrites = 0, 0
+		m.lastPrefetch, m.lastInval = 0, 0
+		for i := range m.tally {
+			t := &m.tally[i]
+			if t.counts != nil {
+				clear(t.counts)
+			}
+			t.sum, t.count = 0, 0
+		}
+		h.metrics = m
+		return
+	}
 	m := &hierMetrics{reg: reg}
 	m.latency[LevelL1] = reg.Histogram("mem.l1d.latency", "cycles for demand accesses served by the L1D", latencyBounds)
 	if h.L2 != nil {
@@ -68,7 +127,20 @@ func (h *Hierarchy) AttachMetrics(reg *metrics.Registry) {
 			m.tally[i].counts = make([]uint64, len(latencyBounds)+1)
 		}
 	}
+	m.l1 = resolveCacheHandles(reg, scopeName(h.L1.Config().Name))
+	if h.L2 != nil {
+		m.l2 = resolveCacheHandles(reg, scopeName(h.L2.Config().Name))
+	}
+	if h.TLB != nil {
+		m.tlbHits = reg.Counter("mem.tlb.hits", "TLB hits")
+		m.tlbMisses = reg.Counter("mem.tlb.misses", "TLB misses (page walks)")
+	}
+	m.dramReads = reg.Counter("mem.dram.reads", "words read from backing memory")
+	m.dramWrites = reg.Counter("mem.dram.writes", "words written to backing memory")
+	m.prefetches = reg.Counter("mem.prefetches", "next-line prefetch fills")
+	m.invalidation = reg.Counter("mem.invalidations", "peer-L1 coherence invalidations")
 	h.metrics = m
+	h.metricsCache = m
 }
 
 // observeLatency records one demand access outcome (no-op when no
@@ -105,17 +177,6 @@ func (m *hierMetrics) flushLatency() {
 	}
 }
 
-// publishCacheDelta adds the change in st since last into the
-// mem.<scope>.* counters and refreshes last.
-func publishCacheDelta(reg *metrics.Registry, scope string, st CacheStats, last *CacheStats) {
-	reg.Counter("mem."+scope+".hits", "cache hits").Add(st.Hits - last.Hits)
-	reg.Counter("mem."+scope+".misses", "cache misses").Add(st.Misses - last.Misses)
-	reg.Counter("mem."+scope+".evictions", "lines evicted").Add(st.Evictions - last.Evictions)
-	reg.Counter("mem."+scope+".flushes", "lines flushed (clflush)").Add(st.Flushes - last.Flushes)
-	reg.Counter("mem."+scope+".writebacks", "dirty lines written back").Add(st.Writebacks - last.Writebacks)
-	*last = st
-}
-
 // PublishMetrics forwards the hierarchy's cumulative counters (caches,
 // TLB, DRAM, prefetcher, coherence) into the attached registry as
 // deltas since the previous publish. The per-level hit-rate gauges are
@@ -127,35 +188,19 @@ func (h *Hierarchy) PublishMetrics() {
 		return
 	}
 	m.flushLatency()
-	reg := m.reg
-	l1 := scopeName(h.L1.Config().Name)
-	publishCacheDelta(reg, l1, h.L1.Stats, &m.lastL1)
-	hitRateGauge(reg, l1)
+	m.l1.publishDelta(h.L1.Stats, &m.lastL1)
 	if h.L2 != nil {
-		l2 := scopeName(h.L2.Config().Name)
-		publishCacheDelta(reg, l2, h.L2.Stats, &m.lastL2)
-		hitRateGauge(reg, l2)
+		m.l2.publishDelta(h.L2.Stats, &m.lastL2)
 	}
 	if h.TLB != nil {
-		reg.Counter("mem.tlb.hits", "TLB hits").Add(h.TLB.Hits - m.lastTLBHits)
-		reg.Counter("mem.tlb.misses", "TLB misses (page walks)").Add(h.TLB.Miss - m.lastTLBMiss)
+		m.tlbHits.Add(h.TLB.Hits - m.lastTLBHits)
+		m.tlbMisses.Add(h.TLB.Miss - m.lastTLBMiss)
 		m.lastTLBHits, m.lastTLBMiss = h.TLB.Hits, h.TLB.Miss
 	}
-	reg.Counter("mem.dram.reads", "words read from backing memory").Add(h.Mem.Reads - m.lastReads)
-	reg.Counter("mem.dram.writes", "words written to backing memory").Add(h.Mem.Writes - m.lastWrites)
+	m.dramReads.Add(h.Mem.Reads - m.lastReads)
+	m.dramWrites.Add(h.Mem.Writes - m.lastWrites)
 	m.lastReads, m.lastWrites = h.Mem.Reads, h.Mem.Writes
-	reg.Counter("mem.prefetches", "next-line prefetch fills").Add(h.Prefetches - m.lastPrefetch)
-	reg.Counter("mem.invalidations", "peer-L1 coherence invalidations").Add(h.Invalidations - m.lastInval)
+	m.prefetches.Add(h.Prefetches - m.lastPrefetch)
+	m.invalidation.Add(h.Invalidations - m.lastInval)
 	m.lastPrefetch, m.lastInval = h.Prefetches, h.Invalidations
-}
-
-// hitRateGauge derives mem.<scope>.hit_rate from the registry's own
-// hit/miss totals.
-func hitRateGauge(reg *metrics.Registry, scope string) {
-	hits := reg.Counter("mem."+scope+".hits", "").Value()
-	misses := reg.Counter("mem."+scope+".misses", "").Value()
-	g := reg.Gauge("mem."+scope+".hit_rate", "hits / (hits+misses)")
-	if total := hits + misses; total > 0 {
-		g.Set(float64(hits) / float64(total))
-	}
 }

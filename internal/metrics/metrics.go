@@ -192,15 +192,18 @@ func (r *Registry) register(name, help string, k kind) {
 }
 
 // Counter returns the counter for name, registering it on first use.
+// Repeat lookups take the typed-map fast path and allocate nothing (a
+// name present in the counter map was necessarily registered as a
+// counter; kind mismatches still fall through to register and panic).
 func (r *Registry) Counter(name, help string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.register(name, help, kindCounter)
-	c, ok := r.counters[name]
-	if !ok {
-		c = &Counter{}
-		r.counters[name] = c
+	if c, ok := r.counters[name]; ok {
+		return c
 	}
+	r.register(name, help, kindCounter)
+	c := &Counter{}
+	r.counters[name] = c
 	return c
 }
 
@@ -208,12 +211,12 @@ func (r *Registry) Counter(name, help string) *Counter {
 func (r *Registry) Gauge(name, help string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.register(name, help, kindGauge)
-	g, ok := r.gauges[name]
-	if !ok {
-		g = &Gauge{}
-		r.gauges[name] = g
+	if g, ok := r.gauges[name]; ok {
+		return g
 	}
+	r.register(name, help, kindGauge)
+	g := &Gauge{}
+	r.gauges[name] = g
 	return g
 }
 
@@ -223,11 +226,10 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.register(name, help, kindHistogram)
-	h, ok := r.hists[name]
-	if ok {
+	if h, ok := r.hists[name]; ok {
 		return h
 	}
+	r.register(name, help, kindHistogram)
 	if len(bounds) == 0 {
 		panic(fmt.Sprintf("metrics: histogram %q registered without bounds", name))
 	}
@@ -236,7 +238,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 			panic(fmt.Sprintf("metrics: histogram %q bounds not ascending: %v", name, bounds))
 		}
 	}
-	h = &Histogram{
+	h := &Histogram{
 		bounds: append([]float64(nil), bounds...),
 		counts: make([]uint64, len(bounds)+1),
 	}

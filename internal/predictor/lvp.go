@@ -61,6 +61,7 @@ type lvpEntry struct {
 type LVP struct {
 	cfg   LVPConfig
 	table map[key]*lvpEntry
+	free  []*lvpEntry // recycled entries (Reconfigure); allocate pops here first
 	tick  uint64
 	rng   *rand.Rand
 	stats Stats
@@ -140,7 +141,10 @@ func (p *LVP) Update(ctx Context, actual uint64, pred Prediction) {
 	}
 	e.vhist = append(e.vhist, actual)
 	if len(e.vhist) > p.cfg.VHistLen {
-		e.vhist = e.vhist[len(e.vhist)-p.cfg.VHistLen:]
+		// Slide down in place rather than reslicing forward: advancing
+		// the slice offset would make every later append reallocate.
+		n := copy(e.vhist, e.vhist[len(e.vhist)-p.cfg.VHistLen:])
+		e.vhist = e.vhist[:n]
 	}
 }
 
@@ -150,6 +154,7 @@ func (p *LVP) Update(ctx Context, actual uint64, pred Prediction) {
 func (p *LVP) allocate(k key) *lvpEntry {
 	if len(p.table) >= p.cfg.Entries {
 		var victim key
+		var victimE *lvpEntry
 		best := -1
 		var bestTouch uint64
 		for vk, ve := range p.table {
@@ -158,12 +163,23 @@ func (p *LVP) allocate(k key) *lvpEntry {
 				best = ve.usefulness
 				bestTouch = ve.lastTouch
 				victim = vk
+				victimE = ve
 			}
 		}
 		delete(p.table, victim)
 		p.stats.Evictions++
+		*victimE = lvpEntry{vhist: victimE.vhist[:0]}
+		p.table[k] = victimE
+		return victimE
 	}
-	e := &lvpEntry{}
+	var e *lvpEntry
+	if n := len(p.free); n > 0 {
+		e = p.free[n-1]
+		p.free = p.free[:n-1]
+		*e = lvpEntry{vhist: e.vhist[:0]}
+	} else {
+		e = &lvpEntry{}
+	}
 	p.table[k] = e
 	return e
 }
@@ -176,6 +192,30 @@ func (p *LVP) Reset() {
 	p.table = make(map[key]*lvpEntry)
 	p.stats = Stats{}
 	p.tick = 0
+}
+
+// Reconfigure restores the predictor to the state NewLVP(cfg) would
+// build, recycling its table buckets and entry storage. Trial harnesses
+// that need a fresh predictor per trial use it to avoid re-growing the
+// table from scratch every time; behavior after Reconfigure is
+// bit-identical to a newly built LVP.
+func (p *LVP) Reconfigure(cfg LVPConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	cfg.setDefaults()
+	for _, e := range p.table {
+		p.free = append(p.free, e)
+	}
+	clear(p.table)
+	p.cfg = cfg
+	p.tick = 0
+	p.stats = Stats{}
+	p.rng = nil
+	if cfg.FPC > 1 {
+		p.rng = rand.New(rand.NewSource(cfg.FPCSeed))
+	}
+	return nil
 }
 
 // Entry introspection for tests and the attack harness.
