@@ -15,9 +15,16 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build test vet race bench bench-metrics bench-runner bench-core alloc-budget docs diff fuzz
+.PHONY: check build test vet race bench bench-metrics bench-runner bench-core alloc-budget docs diff fuzz scenarios
 
-check: vet build race alloc-budget diff docs
+check: vet build race alloc-budget diff scenarios docs
+
+# Scenario registry gate: every registered spec validates, round-trips
+# through JSON byte-for-byte, matches the committed golden registry
+# (testdata/registry.json; -update moves it deliberately), and
+# executes (see internal/scenario).
+scenarios:
+	$(GO) test ./internal/scenario -run 'TestRegistryGolden|TestRoundTrip|TestRegistryCoverage|TestRegisteredScenariosExecute' -count=1
 
 # Steady-state allocation budget of the simulator hot loop
 # (DESIGN.md §10). Runs without -race: the race detector instruments
@@ -77,4 +84,4 @@ bench-core:
 # is the reference documentation the experiments guide links into).
 docs: vet
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -l:"; echo "$$out"; exit 1; fi
-	$(GO) run ./tools/doccheck ./internal/runner ./internal/attacks ./internal/report ./internal/oracle ./internal/progen
+	$(GO) run ./tools/doccheck ./internal/runner ./internal/attacks ./internal/report ./internal/oracle ./internal/progen ./internal/scenario

@@ -1,0 +1,119 @@
+// Package scencli is the scenario front-end every CLI tool shares:
+// the -scenario/-list/-describe flags, the registered-name-or-file
+// resolution, and the conflict check that keeps a spec's experiment
+// definition authoritative over leftover legacy flags.
+package scencli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"vpsec/internal/scenario"
+)
+
+// Flags holds the shared scenario flags registered on the default
+// flag set.
+type Flags struct {
+	scenarioArg *string
+	list        *bool
+	describe    *string
+}
+
+// Register adds -scenario, -list and -describe to the default flag
+// set. Call before flag.Parse.
+func Register() *Flags {
+	return &Flags{
+		scenarioArg: flag.String("scenario", "", "run a registered scenario or a JSON spec file (-list enumerates)"),
+		list:        flag.Bool("list", false, "list the registered scenarios and exit"),
+		describe:    flag.String("describe", "", "print a scenario's canonical JSON spec and exit"),
+	}
+}
+
+// Options parameterize Handle.
+type Options struct {
+	// Tool is the command name, for error messages.
+	Tool string
+	// Infra names the flags that may combine with -scenario —
+	// concurrency, observability and presentation knobs. Any other
+	// explicitly-set flag defines an experiment and conflicts with the
+	// spec, which is the authoritative experiment record.
+	Infra []string
+	// Mutate, when non-nil, applies the infra overrides (jobs,
+	// metrics registry) to the resolved spec before execution.
+	Mutate func(*scenario.Spec)
+	// Render selects the output form.
+	Render scenario.RenderOptions
+}
+
+// Handle runs the scenario modes: -list and -describe print and
+// return handled with a nil result; -scenario resolves, executes and
+// renders the spec to stdout, returning the result for observability
+// sinks. When no scenario flag is in play it returns handled=false and
+// the caller proceeds down its legacy flag path.
+func (f *Flags) Handle(ctx context.Context, o Options) (res *scenario.Result, handled bool, err error) {
+	if *f.list {
+		fmt.Print(scenario.ListText())
+		return nil, true, nil
+	}
+	if *f.describe != "" {
+		text, err := scenario.Describe(*f.describe)
+		if err != nil {
+			return nil, true, err
+		}
+		fmt.Print(text)
+		return nil, true, nil
+	}
+	if *f.scenarioArg == "" {
+		return nil, false, nil
+	}
+	if err := f.checkConflicts(o.Infra); err != nil {
+		return nil, true, err
+	}
+	spec, err := scenario.Resolve(*f.scenarioArg)
+	if err != nil {
+		return nil, true, err
+	}
+	if o.Mutate != nil {
+		o.Mutate(&spec)
+	}
+	res, err = scenario.Execute(ctx, spec)
+	if err != nil {
+		return nil, true, err
+	}
+	if err := res.Render(os.Stdout, o.Render); err != nil {
+		return nil, true, err
+	}
+	return res, true, nil
+}
+
+// checkConflicts rejects explicitly-set experiment flags next to
+// -scenario: silently ignoring `-scenario fig5 -runs 3` would run a
+// different experiment than the user asked for.
+func (f *Flags) checkConflicts(infra []string) error {
+	allowed := map[string]bool{"scenario": true, "list": true, "describe": true}
+	for _, name := range infra {
+		allowed[name] = true
+	}
+	var conflict error
+	flag.Visit(func(fl *flag.Flag) {
+		if !allowed[fl.Name] && conflict == nil {
+			conflict = fmt.Errorf("-%s conflicts with -scenario (the spec defines the experiment; edit or copy it instead)", fl.Name)
+		}
+	})
+	return conflict
+}
+
+// Set reports whether the flag named was set explicitly on the
+// command line — how callers decide if an infra flag (e.g. -jobs)
+// should override the spec.
+func Set(name string) bool {
+	set := false
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == name {
+			set = true
+		}
+	})
+	return set
+}

@@ -1,5 +1,7 @@
 // Command vpattack runs the value-predictor attacks and reproduces the
-// paper's evaluation numbers.
+// paper's evaluation numbers. Every invocation — legacy flags or a
+// declarative scenario — compiles to an internal/scenario spec and
+// executes through scenario.Execute, so the two paths cannot drift.
 //
 // Usage:
 //
@@ -7,33 +9,36 @@
 //	vpattack -attack "Train + Test" -channel timing-window
 //	vpattack -attack "Test + Hit" -predictor vtage -runs 100
 //	vpattack -attack "Fill Up" -channel persistent -dtype
+//	vpattack -scenario table3-lvp          # the same Table III, by name
+//	vpattack -scenario specs/my-exp.json   # or from a spec file
+//	vpattack -list                         # enumerate registered scenarios
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strconv"
 	"time"
 
 	"vpsec/cmd/internal/prof"
-	"vpsec/internal/attacks"
-	"vpsec/internal/core"
+	"vpsec/cmd/internal/scencli"
 	"vpsec/internal/metrics"
-	"vpsec/internal/stats"
+	"vpsec/internal/scenario"
 )
 
 func main() {
+	defaults := scenario.Defaults()
 	var (
 		attackName = flag.String("attack", "", `attack category, e.g. "Train + Test" (see vpmodel)`)
 		variant    = flag.String("variant", "", `specific Table II pattern, e.g. "R^KI, S^SI', R^KI"`)
-		channel    = flag.String("channel", "timing-window", "channel: timing-window, persistent or volatile")
-		predKind   = flag.String("predictor", "lvp", "none, lvp, vtage, stride, stride-2d, fcm, oracle-lvp, oracle-vtage")
-		runs       = flag.Int("runs", 100, "trials per case (paper: 100)")
-		jobs       = flag.Int("jobs", runtime.NumCPU(), "concurrent trials (1 = sequential legacy path; results are identical at any value)")
-		conf       = flag.Int("confidence", 4, "VPS confidence number")
-		seed       = flag.Int64("seed", 1, "base RNG seed")
+		channel    = flag.String("channel", defaults.Channel, "channel: timing-window, persistent or volatile")
+		predKind   = flag.String("predictor", defaults.Predictor, "none, lvp, vtage, stride, stride-2d, fcm, oracle-lvp, oracle-vtage")
+		runs       = flag.Int("runs", defaults.Runs, "trials per case (paper: 100)")
+		jobs       = flag.Int("jobs", scenario.DefaultJobs(), "concurrent trials (1 = sequential legacy path; results are identical at any value)")
+		conf       = flag.Int("confidence", defaults.Confidence, "VPS confidence number")
+		seed       = flag.Int64("seed", defaults.Seed, "base RNG seed")
 		table3     = flag.Bool("table3", false, "reproduce Table III for the chosen predictor")
 		atype      = flag.Bool("atype", false, "enable the A-type defense (history value)")
 		afixed     = flag.Bool("afixed", false, "A-type predicts a fixed value")
@@ -53,6 +58,7 @@ func main() {
 		manifestPath = flag.String("manifest", "", "write a run manifest (config, seed, metrics) to this file")
 	)
 	profFlags := prof.Register()
+	scen := scencli.Register()
 	flag.Parse()
 
 	stopProf, err := profFlags.Start()
@@ -66,36 +72,15 @@ func main() {
 		}
 	}()
 
-	opt := attacks.Options{
-		Predictor:  attacks.PredictorKind(*predKind),
-		Confidence: *conf,
-		Runs:       *runs,
-		Seed:       *seed,
-		Jobs:       *jobs,
-		UsePID:     *usePID,
-		Prefetch:   *prefetch,
-		Replay:     *replay,
-		FPC:        *fpc,
-		TrainIters: *trainIters,
-		Defense: attacks.DefenseConfig{
-			AType:         *atype || *afixed,
-			AFixedOnly:    *afixed,
-			RWindow:       *rwindow,
-			DType:         *dtype,
-			FlushOnSwitch: *flushSw,
-		},
-	}
-
 	var reg *metrics.Registry
 	if *metricsPath != "" || *manifestPath != "" {
 		reg = metrics.NewRegistry()
-		opt.Metrics = reg
 	}
 	start := time.Now()
 	// writeObservability emits the metrics snapshot and manifest on the
 	// way out of every successful code path; ttraj is the per-case Welch
 	// t trajectory when the path produced a single CaseResult.
-	writeObservability := func(ttraj []float64) {
+	writeObservability := func(scenName string, ttraj []float64) {
 		if reg == nil {
 			return
 		}
@@ -114,6 +99,9 @@ func main() {
 			man.Config["runs"] = strconv.Itoa(*runs)
 			man.Config["jobs"] = strconv.Itoa(*jobs)
 			man.Config["confidence"] = strconv.Itoa(*conf)
+			if scenName != "" {
+				man.Config["scenario"] = scenName
+			}
 			man.TTrajectory = ttraj
 			man.Finish(reg, start)
 			if err := man.WriteFile(*manifestPath); err != nil {
@@ -123,149 +111,92 @@ func main() {
 		}
 	}
 
-	if *table3 {
-		if err := printTableIII(opt); err != nil {
-			fmt.Fprintln(os.Stderr, "vpattack:", err)
-			os.Exit(1)
+	res, handled, err := scen.Handle(context.Background(), scencli.Options{
+		Tool:  "vpattack",
+		Infra: []string{"jobs", "metrics", "manifest", "cpuprofile", "memprofile"},
+		Mutate: func(s *scenario.Spec) {
+			if scencli.Set("jobs") {
+				s.Jobs = *jobs
+			}
+			s.Metrics = reg
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpattack:", err)
+		os.Exit(1)
+	}
+	if handled {
+		if res != nil {
+			writeObservability(res.Spec.Name, caseTrajectory(res))
 		}
-		writeObservability(nil)
 		return
 	}
 
-	if *eviction {
-		opt.Channel = core.TimingWindow
-		res, err := attacks.RunTrainTestEviction(opt)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vpattack:", err)
-			os.Exit(1)
-		}
-		printCase(res)
-		writeObservability(res.TTrajectory)
-		return
+	// Legacy flag path: compile the flags into the equivalent spec.
+	spec := scenario.Spec{
+		Predictor:  *predKind,
+		Confidence: *conf,
+		Runs:       *runs,
+		Seed:       *seed,
+		Jobs:       *jobs,
+		UsePID:     *usePID,
+		Prefetch:   *prefetch,
+		Replay:     *replay,
+		FPC:        *fpc,
+		TrainIters: *trainIters,
+		Metrics:    reg,
 	}
-
-	if *variant != "" {
-		v, err := attacks.FindVariant(*variant)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vpattack:", err)
-			os.Exit(1)
+	if *atype || *afixed || *rwindow != 0 || *dtype || *flushSw {
+		spec.Defense = &scenario.DefenseSpec{
+			AType:         *atype,
+			AFixedOnly:    *afixed,
+			RWindow:       *rwindow,
+			DType:         *dtype,
+			FlushOnSwitch: *flushSw,
 		}
-		res, err := attacks.RunVariant(v, opt)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vpattack:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("pattern   : %s\n", v.Pattern)
-		printCase(res)
-		writeObservability(res.TTrajectory)
-		return
 	}
-
-	if *attackName == "" {
-		fmt.Fprintln(os.Stderr, "usage: vpattack -table3 | -attack <category> | -variant <pattern> [flags]")
+	switch {
+	case *table3:
+		spec.Kind = scenario.KindTableIII
+	case *eviction:
+		spec.Kind = scenario.KindEviction
+	case *variant != "":
+		spec.Kind = scenario.KindVariant
+		spec.Variant = *variant
+	case *attackName == "":
+		fmt.Fprintln(os.Stderr, "usage: vpattack -table3 | -attack <category> | -variant <pattern> | -scenario <name|file> [flags]")
 		os.Exit(2)
-	}
-	cat, err := findCategory(*attackName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vpattack:", err)
-		os.Exit(1)
-	}
-	switch *channel {
-	case "timing-window":
-		opt.Channel = core.TimingWindow
-	case "persistent":
-		opt.Channel = core.Persistent
-	case "volatile":
-		opt.Channel = core.Volatile
+	case *noiseSweep:
+		spec.Kind = scenario.KindNoiseSweep
+		spec.Category = *attackName
+		spec.Channel = *channel
+	case *confSweep:
+		spec.Kind = scenario.KindConfSweep
+		spec.Category = *attackName
+		spec.Channel = *channel
 	default:
-		fmt.Fprintln(os.Stderr, "vpattack: unknown channel", *channel)
-		os.Exit(1)
+		spec.Kind = scenario.KindCase
+		spec.Category = *attackName
+		spec.Channel = *channel
 	}
-	if *noiseSweep {
-		pts, err := attacks.NoiseSweep(cat, []uint64{0, 12, 50, 100, 200, 400, 800}, opt)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vpattack:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("noise robustness of %s (%s):\n", cat, opt.Channel)
-		fmt.Printf("%10s  %8s  %8s\n", "jitter", "p", "success")
-		for _, p := range pts {
-			fmt.Printf("%10d  %8.4f  %7.1f%%\n", p.MemJitter, p.P, p.Success*100)
-		}
-		writeObservability(nil)
-		return
-	}
-	if *confSweep {
-		pts, err := attacks.ConfidenceSweep(cat, []int{2, 3, 4, 6, 8}, opt)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vpattack:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("confidence-threshold sweep of %s (%s):\n", cat, opt.Channel)
-		fmt.Printf("%10s  %8s  %10s\n", "confidence", "p", "rate")
-		for _, p := range pts {
-			fmt.Printf("%10d  %8.4f  %7.2f Kbps\n", p.Confidence, p.P, p.RateBps/1000)
-		}
-		writeObservability(nil)
-		return
-	}
-	res, err := attacks.Run(cat, opt)
+
+	result, err := scenario.Execute(context.Background(), spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vpattack:", err)
 		os.Exit(1)
 	}
-	printCase(res)
-	writeObservability(res.TTrajectory)
+	if err := result.Render(os.Stdout, scenario.RenderOptions{}); err != nil {
+		fmt.Fprintln(os.Stderr, "vpattack:", err)
+		os.Exit(1)
+	}
+	writeObservability("", caseTrajectory(result))
 }
 
-func findCategory(name string) (core.Category, error) {
-	for _, c := range core.Categories() {
-		if string(c) == name {
-			return c, nil
-		}
+// caseTrajectory extracts the convergence trajectory when the run
+// produced exactly one case (the manifest field is per-case).
+func caseTrajectory(r *scenario.Result) []float64 {
+	if len(r.Cases) == 1 {
+		return r.Cases[0].TTrajectory
 	}
-	return "", fmt.Errorf("unknown attack %q; categories: %v", name, core.Categories())
-}
-
-func printCase(r attacks.CaseResult) {
-	mm := stats.Summarize(r.Mapped)
-	mu := stats.Summarize(r.Unmapped)
-	verdict := "NOT effective (p >= 0.05)"
-	if r.Effective() {
-		verdict = "EFFECTIVE (p < 0.05)"
-	}
-	fmt.Printf("attack    : %s over the %s channel\n", r.Category, r.Channel)
-	fmt.Printf("predictor : %s", r.Opt.Predictor)
-	if r.Opt.Defense.Active() {
-		fmt.Printf("  defense %+v", r.Opt.Defense)
-	}
-	fmt.Println()
-	fmt.Printf("mapped    : %.1f ± %.1f cycles (%d runs)\n", mm.Mean, mm.StdDev(), mm.N)
-	fmt.Printf("unmapped  : %.1f ± %.1f cycles (%d runs)\n", mu.Mean, mu.StdDev(), mu.N)
-	fmt.Printf("p-value   : %.4f  -> %s\n", r.P, verdict)
-	fmt.Printf("success   : %.1f%% per-bit classification\n", 100*r.SuccessRate)
-	fmt.Printf("tran. rate: %.2f Kbps (modeled at %.1f GHz, %gk-cycle sync epochs)\n",
-		r.RateBps/1000, r.Opt.ClockHz/1e9, r.Opt.SyncEpoch/1000)
-}
-
-func printTableIII(opt attacks.Options) error {
-	rows, err := attacks.TableIII(opt.Predictor, opt)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("Table III: attack evaluation, predictor = %s, %d runs per case\n\n", opt.Predictor, opt.Runs)
-	fmt.Printf("%-14s | %-28s | %-28s\n", "", "Timing-Window Channel", "Persistent Channel")
-	fmt.Printf("%-14s | %-8s  %-18s | %-8s  %-18s\n", "Attack Category", "No VP", "VP (Tran. Rate)", "No VP", "VP (Tran. Rate)")
-	for _, row := range rows {
-		tw := fmt.Sprintf("%.4f", row.TWNoVP.P)
-		twVP := fmt.Sprintf("%.4f (%.2fKbps)", row.TWVP.P, row.TWVP.RateBps/1000)
-		pers, persVP := "—", "—"
-		if row.HasPersistent {
-			pers = fmt.Sprintf("%.4f", row.PersNoVP.P)
-			persVP = fmt.Sprintf("%.4f (%.2fKbps)", row.PersVP.P, row.PersVP.RateBps/1000)
-		}
-		fmt.Printf("%-14s | %-8s  %-18s | %-8s  %-18s\n", row.Category, tw, twVP, pers, persVP)
-	}
-	fmt.Println("\np < 0.05 means the attack is effective (red in the paper).")
 	return nil
 }

@@ -1,24 +1,25 @@
 // Command vpdefense reproduces the Sec. VI defense evaluation: R-type
 // window-size sweeps (minimal secure windows: 3 for Train+Test, 9 for
-// Test+Hit) and the per-attack defense-coverage matrix.
+// Test+Hit) and the per-attack defense-coverage matrix. Both modes
+// compile to internal/scenario specs and run through scenario.Execute.
 //
 //	vpdefense -sweep                 # window sweeps for Train+Test and Test+Hit
 //	vpdefense -matrix                # full strategy x attack matrix
 //	vpdefense -sweep -attack "Fill Up" -maxwindow 6
+//	vpdefense -scenario defense-window-test-hit
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strconv"
 	"time"
 
-	"vpsec/internal/attacks"
-	"vpsec/internal/core"
-	"vpsec/internal/defense"
+	"vpsec/cmd/internal/scencli"
 	"vpsec/internal/metrics"
+	"vpsec/internal/scenario"
 )
 
 func main() {
@@ -27,87 +28,25 @@ func main() {
 		doMatrix   = flag.Bool("matrix", false, "run the defense matrix")
 		attackName = flag.String("attack", "", "restrict the sweep to one category")
 		maxWindow  = flag.Int("maxwindow", 10, "largest R-type window to sweep")
-		runs       = flag.Int("runs", 60, "trials per case")
-		jobs       = flag.Int("jobs", runtime.NumCPU(), "concurrent trials (1 = sequential legacy path; results are identical at any value)")
-		seed       = flag.Int64("seed", 1, "base RNG seed")
+		runs       = flag.Int("runs", scenario.DefaultDefenseRuns(), "trials per case")
+		jobs       = flag.Int("jobs", scenario.DefaultJobs(), "concurrent trials (1 = sequential legacy path; results are identical at any value)")
+		seed       = flag.Int64("seed", scenario.Defaults().Seed, "base RNG seed")
 
 		metricsPath  = flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
 		manifestPath = flag.String("manifest", "", "write a run manifest (config, seed, metrics) to this file")
 	)
+	scen := scencli.Register()
 	flag.Parse()
-	if !*doSweep && !*doMatrix {
-		*doSweep, *doMatrix = true, true
-	}
 
-	base := attacks.Options{Channel: core.TimingWindow, Runs: *runs, Seed: *seed, Jobs: *jobs}
 	var reg *metrics.Registry
 	if *metricsPath != "" || *manifestPath != "" {
 		reg = metrics.NewRegistry()
-		base.Metrics = reg
 	}
 	start := time.Now()
-
-	if *doSweep {
-		cats := []core.Category{core.TrainTest, core.TestHit}
-		if *attackName != "" {
-			cats = nil
-			for _, c := range core.Categories() {
-				if string(c) == *attackName {
-					cats = []core.Category{c}
-				}
-			}
-			if cats == nil {
-				fmt.Fprintf(os.Stderr, "vpdefense: unknown attack %q\n", *attackName)
-				os.Exit(1)
-			}
+	writeObservability := func() {
+		if reg == nil {
+			return
 		}
-		for _, cat := range cats {
-			fmt.Printf("R-type window sweep for %s (timing-window channel):\n", cat)
-			pts, err := defense.SweepRWindow(cat, *maxWindow, base)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "vpdefense:", err)
-				os.Exit(1)
-			}
-			for _, p := range pts {
-				state := "secure"
-				if p.Effective() {
-					state = "ATTACK EFFECTIVE"
-				}
-				fmt.Printf("  window %2d: p=%.4f success=%.2f  %s\n", p.Window, p.P, p.SuccessRate, state)
-			}
-			fmt.Printf("  minimal secure window: %d\n\n", defense.MinimalSecureWindow(pts))
-		}
-	}
-
-	if *doMatrix {
-		fmt.Println("Defense matrix (p-values; 'def' = attack prevented):")
-		cells, err := defense.Matrix(base, nil)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vpdefense:", err)
-			os.Exit(1)
-		}
-		var lastKey string
-		for _, c := range cells {
-			key := fmt.Sprintf("%s / %s", c.Category, c.Channel)
-			if key != lastKey {
-				fmt.Printf("\n%s:\n", key)
-				lastKey = key
-			}
-			state := "LEAKS"
-			if c.Defended {
-				state = "def"
-			}
-			fmt.Printf("  %-10s p=%.4f  %s\n", c.Strategy, c.P, state)
-		}
-		fmt.Println()
-		if defense.AllDefended(cells, "A+R(9)+D") {
-			fmt.Println("Combined A+R+D defends every attack (Sec. VI-B claim holds).")
-		} else {
-			fmt.Println("WARNING: combined A+R+D left an attack effective.")
-		}
-	}
-
-	if reg != nil {
 		if *metricsPath != "" {
 			if err := metrics.WriteFile(reg, *metricsPath, "json"); err != nil {
 				fmt.Fprintln(os.Stderr, "vpdefense:", err)
@@ -128,4 +67,55 @@ func main() {
 			}
 		}
 	}
+
+	_, handled, err := scen.Handle(context.Background(), scencli.Options{
+		Tool:  "vpdefense",
+		Infra: []string{"jobs", "metrics", "manifest"},
+		Mutate: func(s *scenario.Spec) {
+			if scencli.Set("jobs") {
+				s.Jobs = *jobs
+			}
+			s.Metrics = reg
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpdefense:", err)
+		os.Exit(1)
+	}
+	if handled {
+		writeObservability()
+		return
+	}
+
+	if !*doSweep && !*doMatrix {
+		*doSweep, *doMatrix = true, true
+	}
+
+	run := func(spec scenario.Spec) {
+		spec.Runs = *runs
+		spec.Seed = *seed
+		spec.Jobs = *jobs
+		spec.Metrics = reg
+		res, err := scenario.Execute(context.Background(), spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpdefense:", err)
+			os.Exit(1)
+		}
+		if err := res.Render(os.Stdout, scenario.RenderOptions{}); err != nil {
+			fmt.Fprintln(os.Stderr, "vpdefense:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *doSweep {
+		run(scenario.Spec{
+			Kind:      scenario.KindDefenseSweep,
+			Category:  *attackName, // empty: the paper's Train+Test and Test+Hit pair
+			MaxWindow: *maxWindow,
+		})
+	}
+	if *doMatrix {
+		run(scenario.Spec{Kind: scenario.KindDefenseMatrix})
+	}
+	writeObservability()
 }

@@ -1,39 +1,45 @@
 // Command vpfigures regenerates the paper's evaluation figures as
-// ASCII plots and CSV series:
+// ASCII plots and CSV series. The distribution figures (5 and 8) are
+// declarative scenarios executed through internal/scenario; Fig. 7 is
+// the RSA end-to-end demo.
 //
 //	vpfigures -fig 5        # Train+Test timing distributions (4 panels)
 //	vpfigures -fig 7        # RSA e_bit iteration timing sequence
 //	vpfigures -fig 8        # Test+Hit timing distributions (4 panels)
 //	vpfigures -fig 5 -csv   # emit CSV instead of ASCII
+//	vpfigures -scenario fig8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strconv"
 	"time"
 
-	"vpsec/internal/attacks"
+	"vpsec/cmd/internal/scencli"
 	"vpsec/internal/core"
 	"vpsec/internal/metrics"
 	"vpsec/internal/rsa"
+	"vpsec/internal/scenario"
 	"vpsec/internal/stats"
 )
 
 func main() {
+	defaults := scenario.Defaults()
 	var (
 		fig  = flag.Int("fig", 5, "figure to regenerate: 5, 7 or 8")
-		runs = flag.Int("runs", 100, "trials per case (paper: 100)")
-		jobs = flag.Int("jobs", runtime.NumCPU(), "concurrent trials (1 = sequential legacy path; results are identical at any value)")
-		seed = flag.Int64("seed", 1, "RNG seed")
+		runs = flag.Int("runs", defaults.Runs, "trials per case (paper: 100)")
+		jobs = flag.Int("jobs", scenario.DefaultJobs(), "concurrent trials (1 = sequential legacy path; results are identical at any value)")
+		seed = flag.Int64("seed", defaults.Seed, "RNG seed")
 		csv  = flag.Bool("csv", false, "emit CSV series instead of ASCII plots")
 		svg  = flag.String("svg", "", "write SVG panels to files with this prefix (e.g. -svg fig5)")
 
 		metricsPath  = flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
 		manifestPath = flag.String("manifest", "", "write a run manifest (config, seed, metrics) to this file")
 	)
+	scen := scencli.Register()
 	flag.Parse()
 
 	var reg *metrics.Registry
@@ -41,23 +47,10 @@ func main() {
 		reg = metrics.NewRegistry()
 	}
 	start := time.Now()
-
-	var err error
-	switch *fig {
-	case 5:
-		err = distributionFigure(core.TrainTest, *runs, *jobs, *seed, *csv, *svg, reg)
-	case 8:
-		err = distributionFigure(core.TestHit, *runs, *jobs, *seed, *csv, *svg, reg)
-	case 7:
-		err = rsaFigure(*seed, *csv, *svg)
-	default:
-		err = fmt.Errorf("unknown figure %d (supported: 5, 7, 8)", *fig)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vpfigures:", err)
-		os.Exit(1)
-	}
-	if reg != nil {
+	writeObservability := func() {
+		if reg == nil {
+			return
+		}
 		if *metricsPath != "" {
 			if err := metrics.WriteFile(reg, *metricsPath, "json"); err != nil {
 				fmt.Fprintln(os.Stderr, "vpfigures:", err)
@@ -76,66 +69,61 @@ func main() {
 			}
 		}
 	}
-}
 
-// distributionFigure renders the four panels of Fig. 5 (Train+Test) or
-// Fig. 8 (Test+Hit): {timing-window, persistent} × {no VP, LVP}.
-func distributionFigure(cat core.Category, runs, jobs int, seed int64, csv bool, svgPrefix string, reg *metrics.Registry) error {
-	figName := "Fig. 5 (Train + Test)"
-	labels := []string{"mapped index", "unmapped index"}
-	if cat == core.TestHit {
-		figName = "Fig. 8 (Test + Hit)"
-		labels = []string{"mapped data", "unmapped data"}
+	render := scenario.RenderOptions{CSV: *csv, SVGPrefix: *svg}
+	_, handled, err := scen.Handle(context.Background(), scencli.Options{
+		Tool:   "vpfigures",
+		Infra:  []string{"jobs", "csv", "svg", "metrics", "manifest"},
+		Render: render,
+		Mutate: func(s *scenario.Spec) {
+			if scencli.Set("jobs") {
+				s.Jobs = *jobs
+			}
+			s.Metrics = reg
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpfigures:", err)
+		os.Exit(1)
 	}
-	fmt.Printf("%s: timing distributions over %d runs per case\n\n", figName, runs)
-	panel := 1
-	for _, ch := range []core.Channel{core.TimingWindow, core.Persistent} {
-		for _, pk := range []attacks.PredictorKind{attacks.NoVP, attacks.LVP} {
-			r, err := attacks.Run(cat, attacks.Options{
-				Predictor: pk, Channel: ch, Runs: runs, Seed: seed, Jobs: jobs, Metrics: reg,
-			})
-			if err != nil {
-				return err
-			}
-			verdict := "attack NOT effective"
-			if r.Effective() {
-				verdict = "attack EFFECTIVE"
-			}
-			vpName := "no VP"
-			if pk != attacks.NoVP {
-				vpName = "LVP"
-			}
-			fmt.Printf("(%d) %s Channel (%s): pvalue=%.4f  [%s]\n", panel, channelTitle(ch), vpName, r.P, verdict)
-			hm, hu, err := r.Histograms(25)
-			if err != nil {
-				return err
-			}
-			if svgPrefix != "" {
-				title := fmt.Sprintf("%s Channel (%s): p=%.4f", channelTitle(ch), vpName, r.P)
-				doc := stats.HistogramSVG(hm, hu, title, labels[0], labels[1])
-				name := fmt.Sprintf("%s-panel%d.svg", svgPrefix, panel)
-				if err := os.WriteFile(name, []byte(doc), 0o644); err != nil {
-					return err
-				}
-				fmt.Printf("wrote %s\n", name)
-			}
-			if csv {
-				fmt.Print(stats.CSV(hm, hu))
-			} else {
-				fmt.Print(stats.RenderASCII(hm, hu, labels[0]+" (#)", labels[1]+" (*)", 30))
-			}
-			fmt.Println()
-			panel++
+	if handled {
+		writeObservability()
+		return
+	}
+
+	switch *fig {
+	case 5, 8:
+		cat := core.TrainTest
+		if *fig == 8 {
+			cat = core.TestHit
 		}
+		spec := scenario.Spec{
+			Kind:     scenario.KindFigure,
+			Category: string(cat),
+			Runs:     *runs,
+			Seed:     *seed,
+			Jobs:     *jobs,
+			Metrics:  reg,
+		}
+		res, err := scenario.Execute(context.Background(), spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpfigures:", err)
+			os.Exit(1)
+		}
+		if err := res.Render(os.Stdout, render); err != nil {
+			fmt.Fprintln(os.Stderr, "vpfigures:", err)
+			os.Exit(1)
+		}
+	case 7:
+		if err := rsaFigure(*seed, *csv, *svg); err != nil {
+			fmt.Fprintln(os.Stderr, "vpfigures:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "vpfigures: unknown figure %d (supported: 5, 7, 8)\n", *fig)
+		os.Exit(1)
 	}
-	return nil
-}
-
-func channelTitle(ch core.Channel) string {
-	if ch == core.TimingWindow {
-		return "Timing-Window"
-	}
-	return "Persistent"
+	writeObservability()
 }
 
 // rsaFigure renders Fig. 7: the receiver's per-iteration observation of

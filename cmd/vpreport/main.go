@@ -2,36 +2,57 @@
 // Table III, volatile channel, defense sweeps and matrix, RSA key
 // recovery, performance ablation — and emits a Markdown report (or
 // JSON with -json). A full run with the paper's 100 trials per case
-// takes a few minutes; -quick trims it for smoke checks.
+// takes a few minutes; -quick trims it for smoke checks. Every attack
+// and defense section is dispatched through internal/scenario, and
+// `vpreport -scenario <name|file>` runs one such spec on its own.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
+	"vpsec/cmd/internal/scencli"
 	"vpsec/internal/attacks"
 	"vpsec/internal/metrics"
 	"vpsec/internal/report"
+	"vpsec/internal/scenario"
 )
 
 func main() {
+	defaults := scenario.Defaults()
 	var (
-		runs    = flag.Int("runs", 100, "trials per attack case")
-		defRuns = flag.Int("defense-runs", 60, "trials per defense cell")
-		seed    = flag.Int64("seed", 1, "base RNG seed")
-		pred    = flag.String("predictor", "lvp", "predictor under attack: lvp, vtage, stride")
+		runs    = flag.Int("runs", defaults.Runs, "trials per attack case")
+		defRuns = flag.Int("defense-runs", scenario.DefaultDefenseRuns(), "trials per defense cell")
+		seed    = flag.Int64("seed", defaults.Seed, "base RNG seed")
+		pred    = flag.String("predictor", defaults.Predictor, "predictor under attack: lvp, vtage, stride")
 		quick   = flag.Bool("quick", false, "skip the defense sweeps and matrix")
-		jobs    = flag.Int("jobs", runtime.NumCPU(), "concurrent trials per evaluation (1 = sequential legacy path; results are identical at any value)")
+		jobs    = flag.Int("jobs", scenario.DefaultJobs(), "concurrent trials per evaluation (1 = sequential legacy path; results are identical at any value)")
 		asJSON  = flag.Bool("json", false, "emit JSON instead of Markdown")
 		outFile = flag.String("o", "", "write to a file instead of stdout")
 
 		metricsPath  = flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
 		manifestPath = flag.String("manifest", "", "write a run manifest (config, seed, metrics) to this file")
 	)
+	scen := scencli.Register()
 	flag.Parse()
+
+	if _, handled, err := scen.Handle(context.Background(), scencli.Options{
+		Tool:  "vpreport",
+		Infra: []string{"jobs"},
+		Mutate: func(s *scenario.Spec) {
+			if scencli.Set("jobs") {
+				s.Jobs = *jobs
+			}
+		},
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "vpreport:", err)
+		os.Exit(1)
+	} else if handled {
+		return
+	}
 
 	cfg := report.Config{
 		Runs:        *runs,

@@ -5,9 +5,11 @@
 //
 //	vpsim [-predictor none|lvp|vtage] [-confidence N] [-trace] prog.vasm
 //	vpsim -perf    # run the value-locality performance suite instead
+//	vpsim -scenario sim-spec.json   # declarative form of a sim run
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -16,11 +18,13 @@ import (
 	"time"
 
 	"vpsec/cmd/internal/prof"
+	"vpsec/cmd/internal/scencli"
 	"vpsec/internal/asm"
 	"vpsec/internal/cpu"
 	"vpsec/internal/isa"
 	"vpsec/internal/metrics"
 	"vpsec/internal/predictor"
+	"vpsec/internal/scenario"
 	"vpsec/internal/trace"
 	"vpsec/internal/workload"
 )
@@ -43,6 +47,7 @@ func main() {
 		manifestPath = flag.String("manifest", "", "write a run manifest (config, seed, metrics) to this file")
 	)
 	profFlags := prof.Register()
+	scen := scencli.Register()
 	flag.Parse()
 
 	stopProf, err := profFlags.Start()
@@ -55,6 +60,53 @@ func main() {
 			fmt.Fprintln(os.Stderr, "vpsim:", err)
 		}
 	}()
+
+	var scenReg *metrics.Registry
+	if *metricsPath != "" || *manifestPath != "" {
+		scenReg = metrics.NewRegistry()
+	}
+	scenStart := time.Now()
+	scenRes, handled, err := scen.Handle(context.Background(), scencli.Options{
+		Tool:  "vpsim",
+		Infra: []string{"metrics", "metrics-format", "manifest", "cpuprofile", "memprofile"},
+		Mutate: func(s *scenario.Spec) {
+			s.Metrics = scenReg
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpsim:", err)
+		os.Exit(1)
+	}
+	if handled {
+		if scenReg != nil && *metricsPath != "" {
+			if err := metrics.WriteFile(scenReg, *metricsPath, *metricsFmt); err != nil {
+				fmt.Fprintln(os.Stderr, "vpsim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("metrics   : wrote %s (%s)\n", *metricsPath, *metricsFmt)
+		}
+		if scenReg != nil && *manifestPath != "" {
+			seedVal := *seed
+			if scenRes != nil {
+				seedVal = scenRes.Spec.Seed
+			}
+			man := metrics.NewManifest("vpsim", seedVal)
+			if scenRes != nil {
+				man.Config["scenario"] = scenRes.Spec.Name
+				if scenRes.Sim != nil {
+					man.Program = scenRes.Sim.Program
+					man.SimCycles = scenRes.Sim.Run.Cycles
+				}
+			}
+			man.Finish(scenReg, scenStart)
+			if err := man.WriteFile(*manifestPath); err != nil {
+				fmt.Fprintln(os.Stderr, "vpsim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("manifest  : wrote %s\n", *manifestPath)
+		}
+		return
+	}
 
 	if *perf {
 		if err := runPerf(*conf, *seed); err != nil {
@@ -175,33 +227,15 @@ func main() {
 	}
 }
 
+// makePredictor builds the simulated predictor through the factory
+// registry — the same string→constructor mapping the attack harness
+// and the scenario layer use.
 func makePredictor(kind, scheme string, conf int) (predictor.Predictor, error) {
-	var sc predictor.IndexScheme
-	switch scheme {
-	case "pc":
-		sc = predictor.ByPC
-	case "addr":
-		sc = predictor.ByDataAddr
-	case "phys":
-		sc = predictor.ByPhysAddr
-	default:
-		return nil, fmt.Errorf("unknown index scheme %q", scheme)
+	sc, err := predictor.ParseScheme(scheme)
+	if err != nil {
+		return nil, err
 	}
-	switch kind {
-	case "none":
-		return predictor.NewNone(), nil
-	case "lvp":
-		return predictor.NewLVP(predictor.LVPConfig{Confidence: conf, Scheme: sc})
-	case "vtage":
-		return predictor.NewVTAGE(predictor.VTAGEConfig{Confidence: conf})
-	case "stride":
-		return predictor.NewStride(predictor.StrideConfig{Confidence: conf, Scheme: sc})
-	case "stride-2d":
-		return predictor.NewStride2D(predictor.Stride2DConfig{Confidence: conf, Scheme: sc})
-	case "fcm":
-		return predictor.NewFCM(predictor.FCMConfig{Confidence: conf, Scheme: sc})
-	}
-	return nil, fmt.Errorf("unknown predictor %q", kind)
+	return predictor.New(kind, predictor.FactoryConfig{Confidence: conf, Scheme: sc})
 }
 
 func runPerf(conf int, seed int64) error {

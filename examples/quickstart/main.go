@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -13,6 +14,7 @@ import (
 	"vpsec/internal/asm"
 	"vpsec/internal/cpu"
 	"vpsec/internal/predictor"
+	"vpsec/internal/scenario"
 )
 
 const src = `
@@ -87,4 +89,24 @@ func main() {
 		s.Lookups, s.Predictions, s.Correct, s.Mispredicts, s.NoPredictions)
 	fmt.Println("\nThe confidence threshold is 4: the 5th access is the first prediction.")
 	fmt.Println("That timing cliff is exactly what the paper's attacks measure.")
+
+	// The same cliff, weaponized — declaratively. Every experiment in
+	// this repository is a scenario spec: a JSON-serializable value that
+	// scenario.Execute dispatches to the measurement harness (the CLIs'
+	// -scenario flag loads the same thing from a file or the registry;
+	// `vpattack -list` enumerates the paper's full evaluation).
+	spec := scenario.Spec{
+		Kind:     scenario.KindCase,
+		Category: "Train + Test",
+		Runs:     20,
+		Seed:     1,
+	}
+	ares, err := scenario.Execute(context.Background(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := ares.Case()
+	fmt.Printf("\nDeclarative spec {kind: case, category: %q, runs: %d} ->\n", spec.Category, spec.Runs)
+	fmt.Printf("  Train+Test attack on the %s: p=%.4f, per-bit success %.0f%% — effective: %v\n",
+		c.Opt.Predictor, c.P, 100*c.SuccessRate, c.Effective())
 }

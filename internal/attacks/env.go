@@ -151,6 +151,15 @@ func (o Options) Validate() error {
 	return nil
 }
 
+// WithDefaults returns the options with every zero field replaced by
+// its documented default — the normalization each Run* entry point
+// applies before executing. Renderers use it to label results with the
+// effective configuration.
+func (o Options) WithDefaults() Options {
+	o.setDefaults()
+	return o
+}
+
 func (o *Options) setDefaults() {
 	if o.Predictor == "" {
 		o.Predictor = LVP
@@ -285,68 +294,38 @@ func newEnv(opt *Options, seed int64) (*env, error) {
 		ts.rng.Seed(seed)
 	}
 	rng := ts.rng
+	base, oracle, err := opt.Predictor.Base()
+	if err != nil {
+		return nil, err
+	}
+	fcfg := opt.factoryConfig(base, seed)
 	var inner predictor.Predictor
-	switch opt.Predictor {
-	case NoVP:
-		inner = predictor.NewNone()
-	case LVP, OracleLVP:
-		lcfg := predictor.LVPConfig{
-			Confidence: opt.Confidence, UsePID: opt.UsePID,
-			FPC: opt.FPC, FPCSeed: seed,
-		}
+	if base == "lvp" {
+		// The LVP is the hot kind: recycle the pooled table via
+		// Reconfigure instead of constructing from scratch. Reconfigure
+		// restores exactly the state a fresh registry build would have.
 		if ts.lvp != nil {
-			if err := ts.lvp.Reconfigure(lcfg); err != nil {
+			if err := ts.lvp.Reconfigure(predictor.LVPConfig{
+				Confidence: fcfg.Confidence, UsePID: fcfg.UsePID,
+				FPC: fcfg.FPC, FPCSeed: fcfg.FPCSeed,
+			}); err != nil {
 				return nil, err
 			}
 		} else {
-			p, err := predictor.NewLVP(lcfg)
+			p, err := predictor.New(base, fcfg)
 			if err != nil {
 				return nil, err
 			}
-			ts.lvp = p
+			ts.lvp = p.(*predictor.LVP)
 		}
 		inner = ts.lvp
-	case VTAGE, OracleVTAGE:
-		p, err := predictor.NewVTAGE(predictor.VTAGEConfig{
-			Confidence: opt.Confidence, UsePID: opt.UsePID,
-			FPC: opt.FPC, FPCSeed: seed,
-		})
+	} else {
+		inner, err = predictor.New(base, fcfg)
 		if err != nil {
 			return nil, err
 		}
-		inner = p
-	case Stride:
-		p, err := predictor.NewStride(predictor.StrideConfig{Confidence: opt.Confidence, UsePID: opt.UsePID})
-		if err != nil {
-			return nil, err
-		}
-		inner = p
-	case Stride2D:
-		p, err := predictor.NewStride2D(predictor.Stride2DConfig{Confidence: opt.Confidence, UsePID: opt.UsePID})
-		if err != nil {
-			return nil, err
-		}
-		inner = p
-	case FCM:
-		// HistoryLen 1 with threshold confidence-1 keeps the paper's
-		// convention (first prediction on the confidence+1-th access):
-		// the first access only establishes the context, so after
-		// confidence accesses the VPT has seen confidence-1 repeats.
-		// Deeper contexts need longer training (see the RSA FCM
-		// ablation).
-		th := opt.Confidence - 1
-		if th < 1 {
-			th = 1
-		}
-		p, err := predictor.NewFCM(predictor.FCMConfig{Confidence: th, HistoryLen: 1, UsePID: opt.UsePID})
-		if err != nil {
-			return nil, err
-		}
-		inner = p
-	default:
-		return nil, fmt.Errorf("attacks: unknown predictor kind %q", opt.Predictor)
 	}
-	if opt.Predictor == OracleLVP || opt.Predictor == OracleVTAGE {
+	if oracle {
 		// The oracle targets the attacked load's PC in the uniform
 		// kernel (and the skewed variant used for unmapped cases).
 		inner = predictor.NewOracle(inner,

@@ -1,0 +1,32 @@
+package attacks
+
+import (
+	"testing"
+
+	"vpsec/internal/predictor"
+)
+
+// TestEveryKindResolvesToRegistry proves the attack-surface vocabulary
+// and the factory registry cannot drift: every PredictorKind resolves
+// via Base to a registered factory name, and only the oracle-* kinds
+// request the PC filter.
+func TestEveryKindResolvesToRegistry(t *testing.T) {
+	for _, k := range PredictorKinds() {
+		name, oracle, err := k.Base()
+		if err != nil {
+			t.Errorf("%q.Base(): %v", k, err)
+			continue
+		}
+		if !predictor.Registered(name) {
+			t.Errorf("%q resolves to %q, which is not in the factory registry (registered: %v)",
+				k, name, predictor.Names())
+		}
+		wantOracle := k == OracleLVP || k == OracleVTAGE
+		if oracle != wantOracle {
+			t.Errorf("%q.Base() oracle = %v, want %v", k, oracle, wantOracle)
+		}
+	}
+	if _, _, err := PredictorKind("perceptron").Base(); err == nil {
+		t.Error("Base accepted an unknown kind")
+	}
+}

@@ -120,6 +120,20 @@ func Strategies() []Strategy {
 	}
 }
 
+// StrategyNamed resolves one of the Strategies by name, so callers
+// (the scenario layer, spec files) can select a configuration without
+// re-spelling it.
+func StrategyNamed(name string) (Strategy, error) {
+	var names []string
+	for _, s := range Strategies() {
+		if s.Name == name {
+			return s, nil
+		}
+		names = append(names, s.Name)
+	}
+	return Strategy{}, fmt.Errorf("defense: unknown strategy %q (strategies: %v)", name, names)
+}
+
 // MatrixCell is one (category, channel, strategy) evaluation.
 type MatrixCell struct {
 	Category core.Category

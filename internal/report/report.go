@@ -3,9 +3,15 @@
 // the defense evaluation, the RSA key recovery and the performance
 // ablation — and renders it as Markdown or JSON. cmd/vpreport uses it
 // to regenerate an EXPERIMENTS.md-style document in one command.
+//
+// Every attack and defense evaluation in the report is expressed as an
+// internal/scenario spec and dispatched through scenario.Execute, so
+// the report measures exactly what the standalone tools (vpattack,
+// vpdefense, vpfigures) measure for the same spec.
 package report
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -17,6 +23,7 @@ import (
 	"vpsec/internal/locality"
 	"vpsec/internal/metrics"
 	"vpsec/internal/rsa"
+	"vpsec/internal/scenario"
 	"vpsec/internal/workload"
 )
 
@@ -128,6 +135,24 @@ type Report struct {
 	Ablations []AttackCell `json:"ablations,omitempty"`
 }
 
+// spec seeds a scenario spec with the report's shared trial
+// parameters; callers pin the experiment-specific knobs on top.
+func (c Config) spec(kind scenario.Kind) scenario.Spec {
+	return scenario.Spec{
+		Kind:    kind,
+		Runs:    c.Runs,
+		Seed:    c.Seed,
+		Jobs:    c.Jobs,
+		Metrics: c.Metrics,
+	}
+}
+
+// execute dispatches one spec through the scenario layer — the same
+// entry point the CLI front-ends use.
+func execute(s scenario.Spec) (*scenario.Result, error) {
+	return scenario.Execute(context.Background(), s)
+}
+
 // Generate runs the evaluation and assembles the report. now is
 // injected so callers control timestamps (and tests stay
 // deterministic).
@@ -142,12 +167,13 @@ func Generate(cfg Config, now time.Time) (*Report, error) {
 	}
 
 	// Table III.
-	baseOpt := attacks.Options{Runs: cfg.Runs, Seed: cfg.Seed, Jobs: cfg.Jobs, Metrics: cfg.Metrics}
-	rows, err := attacks.TableIII(cfg.Predictor, baseOpt)
+	t3 := cfg.spec(scenario.KindTableIII)
+	t3.Predictor = string(cfg.Predictor)
+	t3res, err := execute(t3)
 	if err != nil {
 		return nil, err
 	}
-	for _, row := range rows {
+	for _, row := range t3res.Table3 {
 		r.TableIII = append(r.TableIII, toCell(row.TWNoVP), toCell(row.TWVP))
 		if row.HasPersistent {
 			r.TableIII = append(r.TableIII, toCell(row.PersNoVP), toCell(row.PersVP))
@@ -157,120 +183,121 @@ func Generate(cfg Config, now time.Time) (*Report, error) {
 	// Volatile channel cells.
 	for _, cat := range []core.Category{core.TrainTest, core.TestHit, core.FillUp} {
 		for _, pk := range []attacks.PredictorKind{attacks.NoVP, cfg.Predictor} {
-			opt := baseOpt
-			opt.Predictor = pk
-			opt.Channel = core.Volatile
-			c, err := attacks.Run(cat, opt)
+			s := cfg.spec(scenario.KindCase)
+			s.Category = string(cat)
+			s.Channel = core.Volatile.String()
+			s.Predictor = string(pk)
+			res, err := execute(s)
 			if err != nil {
 				return nil, err
 			}
-			r.Volatile = append(r.Volatile, toCell(c))
+			r.Volatile = append(r.Volatile, toCell(res.Case()))
 		}
 	}
 
 	// Every Table II row, individually.
 	for _, v := range core.Reduce() {
-		opt := baseOpt
-		opt.Predictor = cfg.Predictor
-		c, err := attacks.RunVariant(v, opt)
+		s := cfg.spec(scenario.KindVariant)
+		s.Predictor = string(cfg.Predictor)
+		s.Variant = v.Pattern.String()
+		res, err := execute(s)
 		if err != nil {
 			return nil, err
 		}
-		cell := toCell(c)
+		cell := toCell(res.Case())
 		cell.Category = v.Pattern.String() + " (" + string(v.Category) + ")"
 		r.RowResults = append(r.RowResults, cell)
 	}
 
 	// Defenses.
 	if !cfg.Quick {
-		dOpt := attacks.Options{Channel: core.TimingWindow, Runs: cfg.DefenseRuns, Seed: cfg.Seed, Jobs: cfg.Jobs, Metrics: cfg.Metrics}
-		tt, err := defense.SweepRWindow(core.TrainTest, 5, dOpt)
-		if err != nil {
-			return nil, err
+		for _, sw := range []struct {
+			cat  core.Category
+			maxw int
+		}{{core.TrainTest, 5}, {core.TestHit, 10}} {
+			s := cfg.spec(scenario.KindDefenseSweep)
+			s.Runs = cfg.DefenseRuns
+			s.Category = string(sw.cat)
+			s.MaxWindow = sw.maxw
+			res, err := execute(s)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range res.Sweeps[0].Points {
+				r.Sweeps = append(r.Sweeps, SweepCell{Category: string(sw.cat), Window: p.Window, P: p.P, Secure: !p.Effective()})
+			}
+			if sw.cat == core.TrainTest {
+				r.MinWindowTrainTest = res.Sweeps[0].MinWindow
+			} else {
+				r.MinWindowTestHit = res.Sweeps[0].MinWindow
+			}
 		}
-		th, err := defense.SweepRWindow(core.TestHit, 10, dOpt)
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range tt {
-			r.Sweeps = append(r.Sweeps, SweepCell{Category: string(core.TrainTest), Window: p.Window, P: p.P, Secure: !p.Effective()})
-		}
-		for _, p := range th {
-			r.Sweeps = append(r.Sweeps, SweepCell{Category: string(core.TestHit), Window: p.Window, P: p.P, Secure: !p.Effective()})
-		}
-		r.MinWindowTrainTest = defense.MinimalSecureWindow(tt)
-		r.MinWindowTestHit = defense.MinimalSecureWindow(th)
 
-		mOpt := attacks.Options{Runs: cfg.DefenseRuns, Seed: cfg.Seed, Jobs: cfg.Jobs, Metrics: cfg.Metrics}
-		cells, err := defense.Matrix(mOpt, nil)
+		m := cfg.spec(scenario.KindDefenseMatrix)
+		m.Runs = cfg.DefenseRuns
+		mres, err := execute(m)
 		if err != nil {
 			return nil, err
 		}
-		r.DefenseMatrix = cells
-		r.CombinedDefends = defense.AllDefended(cells, "A+R(9)+D")
+		r.DefenseMatrix = mres.Matrix
+		r.CombinedDefends = mres.MatrixAllDefended
 	}
 
 	// Ablations (skipped in Quick mode).
 	if !cfg.Quick {
-		add := func(label string, c attacks.CaseResult, err error) error {
+		add := func(label string, s scenario.Spec) error {
+			res, err := execute(s)
 			if err != nil {
 				return err
 			}
-			cell := toCell(c)
+			cell := toCell(res.Case())
 			cell.Category = label
 			r.Ablations = append(r.Ablations, cell)
 			return nil
 		}
-		ev, err := attacks.RunTrainTestEviction(attacks.Options{
-			Predictor: cfg.Predictor, Channel: core.TimingWindow,
-			Runs: cfg.Runs, Seed: cfg.Seed, Jobs: cfg.Jobs, Metrics: cfg.Metrics,
-		})
-		if err := add("Train+Test via eviction sets (no CLFLUSH)", ev, err); err != nil {
+		ev := cfg.spec(scenario.KindEviction)
+		ev.Predictor = string(cfg.Predictor)
+		if err := add("Train+Test via eviction sets (no CLFLUSH)", ev); err != nil {
 			return nil, err
 		}
-		replayOpt := baseOpt
-		replayOpt.Predictor = cfg.Predictor
-		replayOpt.Channel = core.TimingWindow
-		replayOpt.Replay = true
-		rp, err := attacks.Run(core.TrainTest, replayOpt)
-		if err := add("Train+Test under selective-replay recovery", rp, err); err != nil {
+		rp := cfg.spec(scenario.KindCase)
+		rp.Category = string(core.TrainTest)
+		rp.Predictor = string(cfg.Predictor)
+		rp.Replay = true
+		if err := add("Train+Test under selective-replay recovery", rp); err != nil {
 			return nil, err
 		}
-		pidOpt := baseOpt
-		pidOpt.Predictor = cfg.Predictor
-		pidOpt.Channel = core.TimingWindow
-		pidOpt.UsePID = true
-		pd, err := attacks.Run(core.TrainTest, pidOpt)
-		if err := add("Train+Test with pid-indexed VPS (should fail)", pd, err); err != nil {
+		pd := cfg.spec(scenario.KindCase)
+		pd.Category = string(core.TrainTest)
+		pd.Predictor = string(cfg.Predictor)
+		pd.UsePID = true
+		if err := add("Train+Test with pid-indexed VPS (should fail)", pd); err != nil {
 			return nil, err
 		}
-		smt, err := attacks.RunTestHitVolatileSMT(attacks.Options{
-			Predictor: cfg.Predictor, Runs: cfg.Runs, Seed: cfg.Seed, Jobs: cfg.Jobs, Metrics: cfg.Metrics,
-		})
-		if err := add("Test+Hit volatile via SMT co-runner", smt, err); err != nil {
+		smt := cfg.spec(scenario.KindSMT)
+		smt.Category = string(core.TestHit)
+		smt.Predictor = string(cfg.Predictor)
+		if err := add("Test+Hit volatile via SMT co-runner", smt); err != nil {
 			return nil, err
 		}
-		s2d, err := attacks.Run(core.TrainTest, attacks.Options{
-			Predictor: attacks.Stride2D, Channel: core.TimingWindow,
-			Runs: cfg.Runs, Seed: cfg.Seed, Jobs: cfg.Jobs, Metrics: cfg.Metrics,
-		})
-		if err := add("Train+Test on 2-delta stride predictor", s2d, err); err != nil {
+		s2d := cfg.spec(scenario.KindCase)
+		s2d.Category = string(core.TrainTest)
+		s2d.Predictor = string(attacks.Stride2D)
+		if err := add("Train+Test on 2-delta stride predictor", s2d); err != nil {
 			return nil, err
 		}
 		// FPC only exists on LVP/VTAGE; pin LVP so the row is meaningful
 		// regardless of the report's configured predictor.
-		fpcMin := baseOpt
-		fpcMin.Predictor = attacks.LVP
-		fpcMin.Channel = core.TimingWindow
+		fpcMin := cfg.spec(scenario.KindCase)
+		fpcMin.Category = string(core.TrainTest)
+		fpcMin.Predictor = string(attacks.LVP)
 		fpcMin.FPC = 4
-		fm, err := attacks.Run(core.TrainTest, fpcMin)
-		if err := add("Train+Test, FPC 1/4 counters, minimal training (should fail)", fm, err); err != nil {
+		if err := add("Train+Test, FPC 1/4 counters, minimal training (should fail)", fpcMin); err != nil {
 			return nil, err
 		}
 		fpcLong := fpcMin
 		fpcLong.TrainIters = 24
-		fl, err := attacks.Run(core.TrainTest, fpcLong)
-		if err := add("Train+Test, FPC 1/4 counters, 6x training", fl, err); err != nil {
+		if err := add("Train+Test, FPC 1/4 counters, 6x training", fpcLong); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Parse decodes a spec from JSON. Decoding is strict — an unknown
+// field is an error, so a typo in a knob name cannot silently run the
+// default experiment — and the result is validated.
+func Parse(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// LoadFile reads and parses a spec file.
+func LoadFile(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%s: %v", path, err)
+	}
+	return s, nil
+}
+
+// Resolve maps a `-scenario` argument to a spec: a registered name, or
+// a JSON file when the argument looks like a path (contains a
+// separator or a .json suffix) or names an existing file.
+func Resolve(arg string) (Spec, error) {
+	if s, ok := Lookup(arg); ok {
+		return s, nil
+	}
+	if strings.ContainsRune(arg, os.PathSeparator) || strings.HasSuffix(arg, ".json") {
+		return LoadFile(arg)
+	}
+	if _, err := os.Stat(arg); err == nil {
+		return LoadFile(arg)
+	}
+	return Spec{}, fmt.Errorf("scenario: %q is neither a registered scenario nor a spec file (-list shows the registry)", arg)
+}
+
+// MarshalIndent renders the spec as canonical indented JSON — the
+// round-trip format of the golden tests and of -describe.
+func (s Spec) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Describe renders a registered or file spec as canonical JSON.
+func Describe(arg string) (string, error) {
+	s, err := Resolve(arg)
+	if err != nil {
+		return "", err
+	}
+	data, err := s.MarshalIndent()
+	if err != nil {
+		return "", err
+	}
+	return string(data) + "\n", nil
+}
+
+// ListText renders the registry as the `-list` table: one
+// name-and-title line per scenario, sorted by name.
+func ListText() string {
+	var b strings.Builder
+	for _, s := range All() {
+		fmt.Fprintf(&b, "%-28s %s\n", s.Name, s.Title)
+	}
+	return b.String()
+}

@@ -1,0 +1,269 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"vpsec/internal/core"
+)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Spec{}
+)
+
+// Register adds a named spec to the registry. The spec must carry its
+// registry key in Name and must validate; Register panics otherwise —
+// a bad built-in spec is a programming error, and external files go
+// through Parse instead.
+func Register(s Spec) {
+	if s.Name == "" {
+		panic("scenario: Register with empty name")
+	}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("scenario: Register(%s): %v", s.Name, err))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic("scenario: duplicate Register of " + s.Name)
+	}
+	registry[s.Name] = s
+}
+
+// Lookup returns the named registered spec.
+func Lookup(name string) (Spec, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names lists the registered scenario names in sorted order.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered spec in Names order.
+func All() []Spec {
+	names := Names()
+	out := make([]Spec, 0, len(names))
+	for _, n := range names {
+		s, _ := Lookup(n)
+		out = append(out, s)
+	}
+	return out
+}
+
+// catSlug renders a category as a scenario-name fragment:
+// "Train + Test" -> "train-test".
+func catSlug(c core.Category) string {
+	s := strings.ToLower(string(c))
+	s = strings.ReplaceAll(s, " + ", "-")
+	return strings.ReplaceAll(s, " ", "-")
+}
+
+// chanSlug renders a channel as a scenario-name fragment.
+func chanSlug(ch core.Channel) string {
+	if ch == core.TimingWindow {
+		return "timing"
+	}
+	return ch.String()
+}
+
+// The built-in registry: every cell of the paper's evaluation matrix
+// as a named, executable spec. All of them pin the paper's defaults
+// explicitly (runs, confidence, seed) so a marshaled spec is a
+// complete experiment record, not a reference to mutable defaults.
+func init() {
+	d := Defaults()
+
+	// Table III, both evaluated predictors.
+	for _, pred := range []string{"lvp", "vtage"} {
+		Register(Spec{
+			Name:       "table3-" + pred,
+			Title:      fmt.Sprintf("Table III: all six categories, no-VP vs %s, timing-window and persistent channels", strings.ToUpper(pred)),
+			Kind:       KindTableIII,
+			Predictor:  pred,
+			Confidence: d.Confidence,
+			Runs:       d.Runs,
+			Seed:       d.Seed,
+		})
+	}
+
+	// Every (category, channel, predictor) cell of the matrix. The
+	// volatile cells run the single-machine volatile channel; the honest
+	// SMT co-runner formulation is registered separately below.
+	for _, cat := range core.Categories() {
+		for _, ch := range core.ChannelsFor(cat) {
+			for _, pred := range []string{"none", "lvp", "vtage"} {
+				slug := pred
+				if pred == "none" {
+					slug = "novp"
+				}
+				Register(Spec{
+					Name: fmt.Sprintf("%s-%s-%s", catSlug(cat), chanSlug(ch), slug),
+					Title: fmt.Sprintf("%s over the %s channel, predictor %s",
+						cat, ch, pred),
+					Kind:       KindCase,
+					Predictor:  pred,
+					Confidence: d.Confidence,
+					Channel:    ch.String(),
+					Category:   string(cat),
+					Runs:       d.Runs,
+					Seed:       d.Seed,
+				})
+			}
+		}
+	}
+
+	// The twelve effective Table II patterns, in the table's order.
+	for i, v := range core.Reduce() {
+		Register(Spec{
+			Name: fmt.Sprintf("table2-row%02d-%s", i+1, catSlug(v.Category)),
+			Title: fmt.Sprintf("Table II row %d: pattern %s (%s), timing-window channel",
+				i+1, v.Pattern, v.Category),
+			Kind:       KindVariant,
+			Predictor:  d.Predictor,
+			Confidence: d.Confidence,
+			Variant:    v.Pattern.String(),
+			Runs:       d.Runs,
+			Seed:       d.Seed,
+		})
+	}
+
+	// The four-panel timing-distribution figures.
+	Register(Spec{
+		Name:      "fig5",
+		Title:     "Fig. 5: Train + Test timing distributions, {timing-window, persistent} x {no VP, LVP}",
+		Kind:      KindFigure,
+		Predictor: d.Predictor,
+		Category:  string(core.TrainTest),
+		Runs:      d.Runs,
+		Seed:      d.Seed,
+	})
+	Register(Spec{
+		Name:      "fig8",
+		Title:     "Fig. 8: Test + Hit timing distributions, {timing-window, persistent} x {no VP, LVP}",
+		Kind:      KindFigure,
+		Predictor: d.Predictor,
+		Category:  string(core.TestHit),
+		Runs:      d.Runs,
+		Seed:      d.Seed,
+	})
+
+	// Sec. VI-B: R-type window sweeps (minimal secure windows 3 and 9)
+	// and the strategy x attack defense matrix.
+	Register(Spec{
+		Name:      "defense-window-train-test",
+		Title:     "Sec. VI-B: R-type window sweep vs Train + Test (minimal secure window 3)",
+		Kind:      KindDefenseSweep,
+		Category:  string(core.TrainTest),
+		MaxWindow: 5,
+		Runs:      DefaultDefenseRuns(),
+		Seed:      d.Seed,
+	})
+	Register(Spec{
+		Name:      "defense-window-test-hit",
+		Title:     "Sec. VI-B: R-type window sweep vs Test + Hit (minimal secure window 9)",
+		Kind:      KindDefenseSweep,
+		Category:  string(core.TestHit),
+		MaxWindow: 10,
+		Runs:      DefaultDefenseRuns(),
+		Seed:      d.Seed,
+	})
+	Register(Spec{
+		Name:       "defense-window",
+		Title:      "Sec. VI-B: R-type window sweeps vs Train + Test and Test + Hit",
+		Kind:       KindDefenseSweep,
+		Categories: []string{string(core.TrainTest), string(core.TestHit)},
+		MaxWindow:  10,
+		Runs:       DefaultDefenseRuns(),
+		Seed:       d.Seed,
+	})
+	Register(Spec{
+		Name:  "defense-matrix",
+		Title: "Sec. VI-B: every strategy vs every attack/channel cell (A+R(9)+D defends all)",
+		Kind:  KindDefenseMatrix,
+		Runs:  DefaultDefenseRuns(),
+		Seed:  d.Seed,
+	})
+
+	// Single defended cells demonstrating the three defense types.
+	for _, c := range []struct {
+		name, strategy, title string
+		cat                   core.Category
+	}{
+		{"defense-a-test-hit", "A", "A-type (always predict) vs Test + Hit", core.TestHit},
+		{"defense-d-train-test", "D", "D-type (delay side-effects) vs Train + Test", core.TrainTest},
+		{"defense-r9-test-hit", "R(9)", "R-type window 9 vs Test + Hit (its minimal secure window)", core.TestHit},
+	} {
+		Register(Spec{
+			Name:       c.name,
+			Title:      "Sec. VI: " + c.title,
+			Kind:       KindCase,
+			Predictor:  d.Predictor,
+			Confidence: d.Confidence,
+			Channel:    d.Channel,
+			Category:   string(c.cat),
+			Runs:       d.Runs,
+			Seed:       d.Seed,
+			Defense:    &DefenseSpec{Strategy: c.strategy},
+		})
+	}
+
+	// Ablations: honest SMT co-runner volatile channel, eviction-set
+	// misses, noise robustness, confidence-threshold sweep.
+	for _, cat := range []core.Category{core.TestHit, core.TrainTest, core.FillUp} {
+		Register(Spec{
+			Name:       "smt-" + catSlug(cat),
+			Title:      fmt.Sprintf("Volatile channel via honest SMT co-runner: %s", cat),
+			Kind:       KindSMT,
+			Predictor:  d.Predictor,
+			Confidence: d.Confidence,
+			Channel:    core.Volatile.String(),
+			Category:   string(cat),
+			Runs:       d.Runs,
+			Seed:       d.Seed,
+		})
+	}
+	Register(Spec{
+		Name:       "eviction-train-test",
+		Title:      "Train + Test with eviction-set misses instead of CLFLUSH",
+		Kind:       KindEviction,
+		Predictor:  d.Predictor,
+		Confidence: d.Confidence,
+		Runs:       d.Runs,
+		Seed:       d.Seed,
+	})
+	Register(Spec{
+		Name:       "noise-train-test",
+		Title:      "Memory-latency jitter robustness of Train + Test",
+		Kind:       KindNoiseSweep,
+		Predictor:  d.Predictor,
+		Confidence: d.Confidence,
+		Category:   string(core.TrainTest),
+		Runs:       d.Runs,
+		Seed:       d.Seed,
+		Jitters:    []uint64{0, 12, 50, 100, 200, 400, 800},
+	})
+	Register(Spec{
+		Name:        "conf-sweep-train-test",
+		Title:       "VPS confidence-threshold sweep of Train + Test (footnote 3 parameter)",
+		Kind:        KindConfSweep,
+		Predictor:   d.Predictor,
+		Category:    string(core.TrainTest),
+		Runs:        d.Runs,
+		Seed:        d.Seed,
+		Confidences: []int{2, 3, 4, 6, 8},
+	})
+}
