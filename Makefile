@@ -10,14 +10,17 @@
 # `make bench-core` regenerates BENCH_core.json, the tracked record of
 # the cycle-level core's own speed (>= 2x wall-clock and >= 10x fewer
 # allocations per instruction vs the recorded baseline, byte-identical
-# metrics required — see DESIGN.md §10).
+# metrics required — see DESIGN.md §10); `make bench-obs` regenerates
+# BENCH_obs.json, the tracked overhead record of the execution-tracing
+# layer (untraced runs within 2% of the BENCH_core speed, metrics
+# exports byte-identical with tracing on — see DESIGN.md §12).
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build test vet race bench bench-metrics bench-runner bench-core alloc-budget docs diff fuzz scenarios
+.PHONY: check build test vet race bench bench-metrics bench-runner bench-core bench-obs alloc-budget docs diff fuzz scenarios
 
-check: vet build race alloc-budget diff scenarios docs
+check: vet build race alloc-budget diff scenarios docs bench-obs
 
 # Scenario registry gate: every registered spec validates, round-trips
 # through JSON byte-for-byte, matches the committed golden registry
@@ -78,10 +81,19 @@ bench-runner:
 bench-core:
 	$(GO) run ./tools/benchcore -o BENCH_core.json
 
+# Measure the tracing layer's overhead on the same sweep: the untraced
+# (nil-tracer) path must stay within 2% of the BENCH_core wall clock,
+# and the metrics exports must be byte-identical with tracing on and
+# off. Wall clocks only compare on the machine that recorded
+# BENCH_core.json — run `make bench-core` first after switching
+# hardware.
+bench-obs:
+	$(GO) run ./tools/benchobs -o BENCH_obs.json
+
 # Documentation gate: vet, formatting, and doc coverage of the
 # experiment surface (every exported symbol in the runner, attacks,
 # report, oracle and progen packages must carry a doc comment — godoc
 # is the reference documentation the experiments guide links into).
 docs: vet
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -l:"; echo "$$out"; exit 1; fi
-	$(GO) run ./tools/doccheck ./internal/runner ./internal/attacks ./internal/report ./internal/oracle ./internal/progen ./internal/scenario
+	$(GO) run ./tools/doccheck ./internal/runner ./internal/attacks ./internal/report ./internal/oracle ./internal/progen ./internal/scenario ./internal/obs

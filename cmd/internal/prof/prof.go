@@ -1,6 +1,9 @@
-// Package prof wires the conventional -cpuprofile/-memprofile flags
-// into the command-line tools, so performance work on the simulator
-// starts from a pprof profile instead of a guess.
+// Package prof wires the conventional profiling flags into the
+// command-line tools — -cpuprofile/-memprofile for pprof, plus
+// -blockprofile/-mutexprofile for contention analysis of the parallel
+// runner and -exectrace for a runtime/trace capture (`go tool trace`)
+// — so performance work on the simulator starts from a profile
+// instead of a guess.
 package prof
 
 import (
@@ -8,29 +11,38 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	rtrace "runtime/trace"
 )
 
 // Flags holds the profile destinations registered on the default
 // flag set.
 type Flags struct {
-	cpu *string
-	mem *string
+	cpu   *string
+	mem   *string
+	block *string
+	mutex *string
+	exec  *string
 }
 
-// Register adds -cpuprofile and -memprofile to the default flag set.
-// Call before flag.Parse.
+// Register adds the profiling flags to the default flag set. Call
+// before flag.Parse.
 func Register() *Flags {
 	return &Flags{
-		cpu: flag.String("cpuprofile", "", "write a CPU profile to this file"),
-		mem: flag.String("memprofile", "", "write an allocation profile to this file at exit"),
+		cpu:   flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem:   flag.String("memprofile", "", "write an allocation profile to this file at exit"),
+		block: flag.String("blockprofile", "", "write a goroutine blocking profile to this file at exit"),
+		mutex: flag.String("mutexprofile", "", "write a mutex contention profile to this file at exit"),
+		exec:  flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file"),
 	}
 }
 
-// Start begins CPU profiling when requested and returns a stop
-// function finishing both profiles. Defer the stop on the normal exit
-// path; error paths that reach os.Exit skip it and leave at most a
+// Start begins the requested captures and returns a stop function
+// finishing every profile. Defer the stop on the normal exit path;
+// error paths that reach os.Exit skip it and leave at most a
 // truncated profile, which is fine — profiles of failed runs are not
-// the point.
+// the point. Block and mutex profiling sample at full rate while
+// enabled (rate 1 / fraction 1): exact data matters more than
+// sampling overhead in an offline experiment run.
 func (f *Flags) Start() (func() error, error) {
 	var cpuFile *os.File
 	if *f.cpu != "" {
@@ -44,7 +56,33 @@ func (f *Flags) Start() (func() error, error) {
 		}
 		cpuFile = out
 	}
-	memPath := *f.mem
+	if *f.block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if *f.mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	var execFile *os.File
+	if *f.exec != "" {
+		out, err := os.Create(*f.exec)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, err
+		}
+		if err := rtrace.Start(out); err != nil {
+			out.Close()
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, err
+		}
+		execFile = out
+	}
+	memPath, blockPath, mutexPath := *f.mem, *f.block, *f.mutex
 	return func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
@@ -52,20 +90,43 @@ func (f *Flags) Start() (func() error, error) {
 				return err
 			}
 		}
-		if memPath == "" {
-			return nil
+		if execFile != nil {
+			rtrace.Stop()
+			if err := execFile.Close(); err != nil {
+				return err
+			}
 		}
-		out, err := os.Create(memPath)
-		if err != nil {
-			return err
+		if memPath != "" {
+			// Settle the heap so in-use numbers reflect live objects; the
+			// allocs profile keeps cumulative counts either way.
+			runtime.GC()
+			if err := writeLookup("allocs", memPath); err != nil {
+				return err
+			}
 		}
-		// Settle the heap so in-use numbers reflect live objects; the
-		// allocs profile keeps cumulative counts either way.
-		runtime.GC()
-		if err := pprof.Lookup("allocs").WriteTo(out, 0); err != nil {
-			out.Close()
-			return err
+		if blockPath != "" {
+			if err := writeLookup("block", blockPath); err != nil {
+				return err
+			}
 		}
-		return out.Close()
+		if mutexPath != "" {
+			if err := writeLookup("mutex", mutexPath); err != nil {
+				return err
+			}
+		}
+		return nil
 	}, nil
+}
+
+// writeLookup dumps one named pprof profile to path.
+func writeLookup(name, path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pprof.Lookup(name).WriteTo(out, 0); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }

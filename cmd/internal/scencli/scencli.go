@@ -1,5 +1,6 @@
 // Package scencli is the scenario front-end every CLI tool shares:
-// the -scenario/-list/-describe flags, the registered-name-or-file
+// the -scenario/-list/-describe flags, the observability flags
+// (-progress/-progress-interval/-trace), the registered-name-or-file
 // resolution, and the conflict check that keeps a spec's experiment
 // definition authoritative over leftover legacy flags.
 package scencli
@@ -9,37 +10,90 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
+	"vpsec/internal/obs"
 	"vpsec/internal/scenario"
 )
 
-// Flags holds the shared scenario flags registered on the default
-// flag set.
+// Flags holds the shared scenario and observability flags registered
+// on a flag set.
 type Flags struct {
+	fs          *flag.FlagSet
 	scenarioArg *string
 	list        *bool
 	describe    *string
+
+	progress    *bool
+	progressInt *time.Duration
+	tracePath   *string
 }
 
-// Register adds -scenario, -list and -describe to the default flag
-// set. Call before flag.Parse.
+// Register adds the shared flags to the default flag set. Call before
+// flag.Parse.
 func Register() *Flags {
+	return RegisterOn(flag.CommandLine)
+}
+
+// RegisterOn adds -scenario, -list, -describe, -progress,
+// -progress-interval and -trace to fs. Split out from Register so
+// tests can exercise the flag handling on a private flag set.
+func RegisterOn(fs *flag.FlagSet) *Flags {
 	return &Flags{
-		scenarioArg: flag.String("scenario", "", "run a registered scenario or a JSON spec file (-list enumerates)"),
-		list:        flag.Bool("list", false, "list the registered scenarios and exit"),
-		describe:    flag.String("describe", "", "print a scenario's canonical JSON spec and exit"),
+		fs:          fs,
+		scenarioArg: fs.String("scenario", "", "run a registered scenario or a JSON spec file (-list enumerates)"),
+		list:        fs.Bool("list", false, "list the registered scenarios and exit"),
+		describe:    fs.String("describe", "", "print a scenario's canonical JSON spec and exit"),
+		progress:    fs.Bool("progress", false, "render live progress (trials done, rate, ETA, worker utilization) to stderr"),
+		progressInt: fs.Duration("progress-interval", 500*time.Millisecond, "progress render interval (with -progress)"),
+		tracePath:   fs.String("trace", "", "write an execution trace to this file (.jsonl: event stream for tools/tracestat; otherwise Chrome trace-event JSON for Perfetto)"),
 	}
+}
+
+// Observe builds the tracer the -progress/-trace flags request: a
+// Chrome trace-event file (or JSONL, by .jsonl extension) for -trace,
+// a live stderr renderer for -progress. It returns a nil tracer when
+// neither flag is set — the zero-overhead disabled path. The returned
+// close function (never nil) flushes and closes every sink; call it on
+// the way out of every successful code path.
+func (f *Flags) Observe() (*obs.Tracer, func() error, error) {
+	noop := func() error { return nil }
+	var sinks []obs.Sink
+	if *f.tracePath != "" {
+		file, err := os.Create(*f.tracePath)
+		if err != nil {
+			return nil, noop, err
+		}
+		if strings.HasSuffix(*f.tracePath, ".jsonl") {
+			sinks = append(sinks, obs.NewJSONLSink(file))
+		} else {
+			sinks = append(sinks, obs.NewChromeSink(file))
+		}
+	}
+	if *f.progress {
+		sinks = append(sinks, obs.NewProgress(os.Stderr, *f.progressInt))
+	}
+	if len(sinks) == 0 {
+		return nil, noop, nil
+	}
+	t := obs.New(sinks...)
+	return t, t.Close, nil
 }
 
 // Options parameterize Handle.
 type Options struct {
 	// Tool is the command name, for error messages.
 	Tool string
-	// Infra names the flags that may combine with -scenario —
+	// Infra names the tool's own flags that may combine with -scenario —
 	// concurrency, observability and presentation knobs. Any other
 	// explicitly-set flag defines an experiment and conflicts with the
-	// spec, which is the authoritative experiment record.
+	// spec, which is the authoritative experiment record. The shared
+	// scencli flags (including -progress/-trace) are always allowed.
 	Infra []string
+	// Trace, when non-nil, is attached to the resolved spec — the
+	// tracer Observe built from -progress/-trace.
+	Trace *obs.Tracer
 	// Mutate, when non-nil, applies the infra overrides (jobs,
 	// metrics registry) to the resolved spec before execution.
 	Mutate func(*scenario.Spec)
@@ -75,6 +129,7 @@ func (f *Flags) Handle(ctx context.Context, o Options) (res *scenario.Result, ha
 	if err != nil {
 		return nil, true, err
 	}
+	spec.Trace = o.Trace
 	if o.Mutate != nil {
 		o.Mutate(&spec)
 	}
@@ -90,14 +145,19 @@ func (f *Flags) Handle(ctx context.Context, o Options) (res *scenario.Result, ha
 
 // checkConflicts rejects explicitly-set experiment flags next to
 // -scenario: silently ignoring `-scenario fig5 -runs 3` would run a
-// different experiment than the user asked for.
+// different experiment than the user asked for. The scencli-owned
+// flags — including the observability ones, which only watch a run —
+// always compose with -scenario.
 func (f *Flags) checkConflicts(infra []string) error {
-	allowed := map[string]bool{"scenario": true, "list": true, "describe": true}
+	allowed := map[string]bool{
+		"scenario": true, "list": true, "describe": true,
+		"progress": true, "progress-interval": true, "trace": true,
+	}
 	for _, name := range infra {
 		allowed[name] = true
 	}
 	var conflict error
-	flag.Visit(func(fl *flag.Flag) {
+	f.fs.Visit(func(fl *flag.Flag) {
 		if !allowed[fl.Name] && conflict == nil {
 			conflict = fmt.Errorf("-%s conflicts with -scenario (the spec defines the experiment; edit or copy it instead)", fl.Name)
 		}

@@ -1,0 +1,115 @@
+package scencli
+
+import (
+	"flag"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// newFlags builds a Flags on a private flag set carrying a typical
+// tool's own experiment and infra flags, parsed over args.
+func newFlags(t *testing.T, args []string) *Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	// Stand-ins for a front-end's own flags: -runs defines the
+	// experiment, -jobs is infrastructure.
+	fs.Int("runs", 100, "")
+	fs.Int("jobs", 0, "")
+	f := RegisterOn(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return f
+}
+
+// TestCheckConflicts: the observability flags compose with -scenario;
+// explicitly-set experiment flags do not.
+func TestCheckConflicts(t *testing.T) {
+	infra := []string{"jobs"}
+	cases := []struct {
+		name     string
+		args     []string
+		conflict string // "" means allowed
+	}{
+		{"scenario alone", []string{"-scenario", "fig5"}, ""},
+		{"progress composes", []string{"-scenario", "fig5", "-progress"}, ""},
+		{"progress interval composes", []string{"-scenario", "fig5", "-progress", "-progress-interval", "1s"}, ""},
+		{"trace composes", []string{"-scenario", "fig5", "-trace", "out.json"}, ""},
+		{"trace jsonl composes", []string{"-scenario", "fig5", "-trace", "out.jsonl"}, ""},
+		{"everything observable", []string{"-scenario", "fig5", "-progress", "-trace", "t.json"}, ""},
+		{"infra composes", []string{"-scenario", "fig5", "-jobs", "4"}, ""},
+		{"infra and observability", []string{"-scenario", "fig5", "-jobs", "4", "-progress", "-trace", "t.json"}, ""},
+		{"experiment flag conflicts", []string{"-scenario", "fig5", "-runs", "3"}, "-runs"},
+		{"conflict despite observability", []string{"-scenario", "fig5", "-progress", "-runs", "3"}, "-runs"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := newFlags(t, c.args)
+			err := f.checkConflicts(infra)
+			if c.conflict == "" {
+				if err != nil {
+					t.Fatalf("unexpected conflict: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("no conflict reported, want one on %s", c.conflict)
+			}
+			if !strings.Contains(err.Error(), c.conflict) {
+				t.Fatalf("conflict %q does not name %s", err, c.conflict)
+			}
+		})
+	}
+}
+
+// TestObserveDisabled: with neither -progress nor -trace the tracer is
+// nil — the zero-overhead path — and the close function is callable.
+func TestObserveDisabled(t *testing.T) {
+	f := newFlags(t, []string{"-scenario", "fig5"})
+	tracer, closeTrace, err := f.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracer.Enabled() {
+		t.Fatal("tracer enabled without -progress/-trace")
+	}
+	if err := closeTrace(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObserveTraceFile: -trace builds an enabled tracer and the file
+// materializes on close, in the format the extension selects.
+func TestObserveTraceFile(t *testing.T) {
+	for _, c := range []struct {
+		file   string
+		prefix string
+	}{
+		{"t.json", "["},  // Chrome trace-event array
+		{"t.jsonl", "{"}, // one JSON object per line
+	} {
+		path := t.TempDir() + "/" + c.file
+		f := newFlags(t, []string{"-scenario", "fig5", "-trace", path})
+		tracer, closeTrace, err := f.Observe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tracer.Enabled() {
+			t.Fatalf("%s: tracer disabled despite -trace", c.file)
+		}
+		tracer.Start("x").End()
+		if err := closeTrace(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), c.prefix) {
+			t.Errorf("%s starts %q, want prefix %q", c.file, data[:1], c.prefix)
+		}
+	}
+}

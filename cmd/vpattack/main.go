@@ -71,6 +71,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "vpattack:", err)
 		}
 	}()
+	tracer, closeTrace, err := scen.Observe()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpattack:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := closeTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "vpattack:", err)
+		}
+	}()
 
 	var reg *metrics.Registry
 	if *metricsPath != "" || *manifestPath != "" {
@@ -112,8 +122,10 @@ func main() {
 	}
 
 	res, handled, err := scen.Handle(context.Background(), scencli.Options{
-		Tool:  "vpattack",
-		Infra: []string{"jobs", "metrics", "manifest", "cpuprofile", "memprofile"},
+		Tool: "vpattack",
+		Infra: []string{"jobs", "metrics", "manifest",
+			"cpuprofile", "memprofile", "blockprofile", "mutexprofile", "exectrace"},
+		Trace: tracer,
 		Mutate: func(s *scenario.Spec) {
 			if scencli.Set("jobs") {
 				s.Jobs = *jobs
@@ -145,6 +157,7 @@ func main() {
 		FPC:        *fpc,
 		TrainIters: *trainIters,
 		Metrics:    reg,
+		Trace:      tracer,
 	}
 	if *atype || *afixed || *rwindow != 0 || *dtype || *flushSw {
 		spec.Defense = &scenario.DefenseSpec{

@@ -38,6 +38,17 @@ func main() {
 	scen := scencli.Register()
 	flag.Parse()
 
+	tracer, closeTrace, err := scen.Observe()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpdefense:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := closeTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "vpdefense:", err)
+		}
+	}()
+
 	var reg *metrics.Registry
 	if *metricsPath != "" || *manifestPath != "" {
 		reg = metrics.NewRegistry()
@@ -71,6 +82,7 @@ func main() {
 	_, handled, err := scen.Handle(context.Background(), scencli.Options{
 		Tool:  "vpdefense",
 		Infra: []string{"jobs", "metrics", "manifest"},
+		Trace: tracer,
 		Mutate: func(s *scenario.Spec) {
 			if scencli.Set("jobs") {
 				s.Jobs = *jobs
@@ -96,6 +108,7 @@ func main() {
 		spec.Seed = *seed
 		spec.Jobs = *jobs
 		spec.Metrics = reg
+		spec.Trace = tracer
 		res, err := scenario.Execute(context.Background(), spec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vpdefense:", err)

@@ -42,6 +42,17 @@ func main() {
 	scen := scencli.Register()
 	flag.Parse()
 
+	tracer, closeTrace, err := scen.Observe()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpfigures:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := closeTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "vpfigures:", err)
+		}
+	}()
+
 	var reg *metrics.Registry
 	if *metricsPath != "" || *manifestPath != "" {
 		reg = metrics.NewRegistry()
@@ -74,6 +85,7 @@ func main() {
 	_, handled, err := scen.Handle(context.Background(), scencli.Options{
 		Tool:   "vpfigures",
 		Infra:  []string{"jobs", "csv", "svg", "metrics", "manifest"},
+		Trace:  tracer,
 		Render: render,
 		Mutate: func(s *scenario.Spec) {
 			if scencli.Set("jobs") {
@@ -104,6 +116,7 @@ func main() {
 			Seed:     *seed,
 			Jobs:     *jobs,
 			Metrics:  reg,
+			Trace:    tracer,
 		}
 		res, err := scenario.Execute(context.Background(), spec)
 		if err != nil {

@@ -39,9 +39,21 @@ func main() {
 	scen := scencli.Register()
 	flag.Parse()
 
+	tracer, closeTrace, err := scen.Observe()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpreport:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := closeTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "vpreport:", err)
+		}
+	}()
+
 	if _, handled, err := scen.Handle(context.Background(), scencli.Options{
 		Tool:  "vpreport",
 		Infra: []string{"jobs"},
+		Trace: tracer,
 		Mutate: func(s *scenario.Spec) {
 			if scencli.Set("jobs") {
 				s.Jobs = *jobs
@@ -61,6 +73,7 @@ func main() {
 		Predictor:   attacks.PredictorKind(*pred),
 		Quick:       *quick,
 		Jobs:        *jobs,
+		Trace:       tracer,
 	}
 	var reg *metrics.Registry
 	if *metricsPath != "" || *manifestPath != "" {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vpsim [-predictor none|lvp|vtage] [-confidence N] [-trace] prog.vasm
+//	vpsim [-predictor none|lvp|vtage] [-confidence N] [-memtrace] prog.vasm
 //	vpsim -perf    # run the value-locality performance suite instead
 //	vpsim -scenario sim-spec.json   # declarative form of a sim run
 package main
@@ -31,16 +31,16 @@ import (
 
 func main() {
 	var (
-		predKind  = flag.String("predictor", "lvp", "value predictor: none, lvp, vtage, stride, stride-2d, fcm")
-		scheme    = flag.String("scheme", "pc", "predictor index: pc, addr or phys")
-		conf      = flag.Int("confidence", 4, "VPS confidence number")
-		seed      = flag.Int64("seed", 1, "RNG seed")
-		traceFlag = flag.Bool("trace", false, "trace memory-system events")
-		perf      = flag.Bool("perf", false, "run the performance suite (ignores program argument)")
-		regs      = flag.Bool("regs", false, "dump final architectural registers")
-		dump      = flag.Bool("dump", false, "print the assembled program back as .vasm and exit")
-		pipeview  = flag.Int("pipeview", 0, "render a pipeline diagram of the first N dynamic instructions")
-		kanata    = flag.String("kanata", "", "write a Kanata pipeline trace to this file")
+		predKind = flag.String("predictor", "lvp", "value predictor: none, lvp, vtage, stride, stride-2d, fcm")
+		scheme   = flag.String("scheme", "pc", "predictor index: pc, addr or phys")
+		conf     = flag.Int("confidence", 4, "VPS confidence number")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		memTrace = flag.Bool("memtrace", false, "trace memory-system events to stdout (the shared -trace flag writes an execution trace)")
+		perf     = flag.Bool("perf", false, "run the performance suite (ignores program argument)")
+		regs     = flag.Bool("regs", false, "dump final architectural registers")
+		dump     = flag.Bool("dump", false, "print the assembled program back as .vasm and exit")
+		pipeview = flag.Int("pipeview", 0, "render a pipeline diagram of the first N dynamic instructions")
+		kanata   = flag.String("kanata", "", "write a Kanata pipeline trace to this file")
 
 		metricsPath  = flag.String("metrics", "", "write a metrics snapshot to this file")
 		metricsFmt   = flag.String("metrics-format", "json", "metrics export format: json or prom")
@@ -60,6 +60,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "vpsim:", err)
 		}
 	}()
+	tracer, closeTrace, err := scen.Observe()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpsim:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := closeTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "vpsim:", err)
+		}
+	}()
 
 	var scenReg *metrics.Registry
 	if *metricsPath != "" || *manifestPath != "" {
@@ -67,8 +77,10 @@ func main() {
 	}
 	scenStart := time.Now()
 	scenRes, handled, err := scen.Handle(context.Background(), scencli.Options{
-		Tool:  "vpsim",
-		Infra: []string{"metrics", "metrics-format", "manifest", "cpuprofile", "memprofile"},
+		Tool: "vpsim",
+		Infra: []string{"metrics", "metrics-format", "manifest",
+			"cpuprofile", "memprofile", "blockprofile", "mutexprofile", "exectrace"},
+		Trace: tracer,
 		Mutate: func(s *scenario.Spec) {
 			s.Metrics = scenReg
 		},
@@ -145,7 +157,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vpsim:", err)
 		os.Exit(1)
 	}
-	cpu.DebugTrace = *traceFlag
+	cpu.DebugTrace = *memTrace
 	if *pipeview > 0 || *kanata != "" {
 		m.Tracer = trace.NewRecorder(0)
 	}

@@ -22,6 +22,7 @@ import (
 	"vpsec/internal/cpu"
 	"vpsec/internal/mem"
 	"vpsec/internal/metrics"
+	"vpsec/internal/obs"
 	"vpsec/internal/predictor"
 )
 
@@ -138,6 +139,15 @@ type Options struct {
 	// internal/metrics). Excluded from JSON: a registry is shared
 	// infrastructure, not a result.
 	Metrics *metrics.Registry `json:"-"`
+
+	// Trace, when non-nil, records execution spans for every trial (see
+	// internal/obs): the runner's per-item spans plus the trial phases
+	// — setup (env construction), one "kernel" span per attack step
+	// (train/modify/trigger, named by the kernel), "probe" for the
+	// persistent channel's reload probes, and "stats" for metrics
+	// publication. Wall-clock observability only; like Metrics it is
+	// excluded from JSON and never influences results.
+	Trace *obs.Tracer `json:"-"`
 }
 
 // Validate reports option errors that defaulting cannot repair.
@@ -224,6 +234,10 @@ type env struct {
 	conf    int
 	train   int    // accesses per training step (>= conf; see Options.TrainIters)
 	lastPID uint64 // previously scheduled pid (FlushOnSwitch defense)
+
+	// span is the trial span the runner put in the item context (zero
+	// when untraced); the kernel/probe/stats phase spans nest under it.
+	span obs.Span
 
 	// ts points back at the pooled trial state this env lives in;
 	// release hands it back. nil for envs that were never pooled.
@@ -383,5 +397,6 @@ func newEnv(opt *Options, seed int64) (*env, error) {
 	e.lastPID = 0
 	e.ts = ts
 	e.procN = 0
+	e.span = obs.Span{} // pooled envs must not inherit a prior trial's span
 	return e, nil
 }

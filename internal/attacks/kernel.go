@@ -6,6 +6,7 @@ import (
 
 	"vpsec/internal/cpu"
 	"vpsec/internal/isa"
+	"vpsec/internal/obs"
 )
 
 // The attack steps are all instances of one uniform access kernel so
@@ -148,6 +149,10 @@ func buildKernelCached(volatile bool, p kernelParams) (*isa.Program, error) {
 // returns the per-iteration timings plus the run result.
 func (e *env) runKernel(pid uint64, p kernelParams, physBase uint64) ([]uint64, cpu.RunResult, error) {
 	e.switchTo(pid)
+	if e.span.Traced() {
+		ks := e.span.Child("kernel", obs.Str("kernel", p.name), obs.Int("iters", p.iters))
+		defer ks.End()
+	}
 	prog, err := buildKernelCached(false, p)
 	if err != nil {
 		return nil, cpu.RunResult{}, err
@@ -204,6 +209,10 @@ var probeCache sync.Map // uint64 probe address -> *isa.Program
 // (the decode step of the persistent channel, Fig. 4 lines 18-24).
 func (e *env) probeLatency(pid uint64, physBase uint64, line uint64) (uint64, error) {
 	e.switchTo(pid)
+	if e.span.Traced() {
+		ps := e.span.Child("probe", obs.Int("line", int(line&valueMask)))
+		defer ps.End()
+	}
 	addr := probeBase + (line&valueMask)<<probeShift
 	var prog *isa.Program
 	if v, ok := probeCache.Load(addr); ok {
@@ -307,6 +316,10 @@ const volatileWindow = 100
 // windowed contention observation.
 func (e *env) runVolatileTrigger(pid uint64, p kernelParams, physBase uint64) (float64, cpu.RunResult, error) {
 	e.switchTo(pid)
+	if e.span.Traced() {
+		ks := e.span.Child("kernel", obs.Str("kernel", p.name), obs.Int("iters", p.iters))
+		defer ks.End()
+	}
 	prog, err := buildKernelCached(true, p)
 	if err != nil {
 		return 0, cpu.RunResult{}, err

@@ -53,10 +53,14 @@ func caseScope(cat core.Category, ch core.Channel) string {
 // trial's simulated-cycle total, the observation into the mapped or
 // unmapped histogram, and the trial machine's end-of-life predictor
 // state (confidence distribution).
-func (e *env) recordTrial(mapped bool, obs float64, cyc uint64) {
+func (e *env) recordTrial(mapped bool, obsv float64, cyc uint64) {
 	reg := e.opt.Metrics
 	if reg == nil {
 		return
+	}
+	if e.span.Traced() {
+		ss := e.span.Child("stats")
+		defer ss.End()
 	}
 	reg.Counter("attacks.trials", "attack trials executed").Inc()
 	if cyc > 0 {
@@ -68,7 +72,7 @@ func (e *env) recordTrial(mapped bool, obs float64, cyc uint64) {
 		which = "mapped"
 	}
 	reg.Histogram("attacks.obs."+which, "receiver observations (cycles), "+which+" case", obsBounds).
-		Observe(obs)
+		Observe(obsv)
 	e.m.FinalizeMetrics()
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"vpsec/internal/metrics"
+	"vpsec/internal/obs"
 	"vpsec/internal/runner"
 )
 
@@ -30,7 +31,7 @@ type trialOut struct {
 // legacy loop). The returned total is the sum of per-trial cycle
 // counts in trial order.
 func runCaseTrials(ctx context.Context, opt *Options, res *CaseResult, record bool, fn trialFunc) (totalCycles float64, err error) {
-	outs, err := runner.Map(ctx, runner.Config{Jobs: opt.Jobs, Metrics: opt.Metrics}, 2*opt.Runs,
+	outs, err := runner.Map(ctx, runner.Config{Jobs: opt.Jobs, Metrics: opt.Metrics, Trace: opt.Trace}, 2*opt.Runs,
 		func(ctx context.Context, k int, reg *metrics.Registry) (trialOut, error) {
 			i := k / 2
 			mapped := k%2 == 0
@@ -43,19 +44,28 @@ func runCaseTrials(ctx context.Context, opt *Options, res *CaseResult, record bo
 			// registry merged at the barrier otherwise.
 			o := *opt
 			o.Metrics = reg
+			// The runner put this item's trial span in the context; the
+			// env carries it so the kernel/probe/stats phases nest there.
+			span := obs.FromContext(ctx)
+			var setup obs.Span
+			if span.Traced() {
+				setup = span.Child("setup", obs.Int("trial", i))
+			}
 			e, err := newEnv(&o, seed)
+			setup.End()
 			if err != nil {
 				return trialOut{}, err
 			}
-			obs, cyc, err := fn(e, mapped)
+			e.span = span
+			ob, cyc, err := fn(e, mapped)
 			if err != nil {
 				return trialOut{}, err
 			}
 			if record {
-				e.recordTrial(mapped, obs, cyc)
+				e.recordTrial(mapped, ob, cyc)
 			}
 			e.release()
-			return trialOut{obs: obs, cyc: cyc}, nil
+			return trialOut{obs: ob, cyc: cyc}, nil
 		})
 	if err != nil {
 		return 0, err

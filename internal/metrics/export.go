@@ -11,9 +11,12 @@ import (
 )
 
 // JSON renders the snapshot as canonical indented JSON: encoding/json
-// sorts map keys, so equal snapshots marshal to identical bytes.
+// sorts map keys, so equal snapshots marshal to identical bytes. The
+// non-deterministic RuntimeScope entries are stripped first, so the
+// export is byte-identical across equal-seed runs even when execution
+// tracing recorded wall-clock histograms into the registry.
 func (s Snapshot) JSON() ([]byte, error) {
-	out, err := json.MarshalIndent(s, "", "  ")
+	out, err := json.MarshalIndent(s.Deterministic(), "", "  ")
 	if err != nil {
 		return nil, err
 	}
@@ -66,7 +69,7 @@ func formatFloat(v float64) string {
 // Registration-time collision checks (see Registry.register) guarantee
 // family names are unique, so the output passes promtool-style lint.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	snap := r.Snapshot()
+	snap := r.Snapshot().Deterministic()
 	help := make(map[string]string, len(r.kinds))
 	for _, n := range r.Names() {
 		help[n] = r.Help(n)

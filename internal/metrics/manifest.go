@@ -44,13 +44,16 @@ func NewManifest(tool string, seed int64) *Manifest {
 	}
 }
 
-// Finish stamps the wall time and captures the registry snapshot. If
-// SimCycles is unset it is recovered from the snapshot's cpu.cycles or
+// Finish stamps the wall time and captures the registry snapshot
+// (deterministic view only: the RuntimeScope entries traced runs
+// record are stripped, so a manifest's Metrics field compares equal
+// across equal-seed runs with or without tracing). If SimCycles is
+// unset it is recovered from the snapshot's cpu.cycles or
 // attacks.trial.cycles totals, when present.
 func (m *Manifest) Finish(r *Registry, start time.Time) {
 	m.WallSeconds = time.Since(start).Seconds()
 	if r != nil {
-		m.Metrics = r.Snapshot()
+		m.Metrics = r.Snapshot().Deterministic()
 		if m.SimCycles == 0 {
 			if v, ok := m.Metrics.Counters["cpu.cycles"]; ok {
 				m.SimCycles = v

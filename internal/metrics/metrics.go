@@ -93,6 +93,15 @@ func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
 	return append([]float64(nil), h.bounds...), append([]uint64(nil), h.counts...)
 }
 
+// RuntimeScope is the one scope prefix whose metrics record wall-clock
+// (non-deterministic) data — e.g. runtime.trial.seconds, the per-item
+// durations internal/runner observes on traced runs. It is the
+// sanctioned exception to the package's determinism requirement: the
+// values may land in a registry, but every exporter strips the scope
+// (Snapshot.Deterministic), so JSON/Prometheus/manifest exports stay
+// byte-identical whether or not execution tracing was enabled.
+const RuntimeScope = "runtime."
+
 // kind tags a registered name so re-registration under a different
 // metric type is caught early.
 type kind uint8
@@ -379,6 +388,34 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 	}
 	return s
+}
+
+// Deterministic returns a copy of the snapshot without the
+// RuntimeScope entries — the view every exporter and byte-identity
+// comparison uses. The full snapshot (with runtime.* values) stays
+// available to callers that want the wall-clock data.
+func (s Snapshot) Deterministic() Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for n, v := range s.Counters {
+		if !strings.HasPrefix(n, RuntimeScope) {
+			d.Counters[n] = v
+		}
+	}
+	for n, v := range s.Gauges {
+		if !strings.HasPrefix(n, RuntimeScope) {
+			d.Gauges[n] = v
+		}
+	}
+	for n, h := range s.Histograms {
+		if !strings.HasPrefix(n, RuntimeScope) {
+			d.Histograms[n] = h
+		}
+	}
+	return d
 }
 
 // Diff returns the change from prev to s: counters and histogram

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// runtimeReg builds a registry holding both deterministic values and
+// one of each kind in the non-deterministic RuntimeScope.
+func runtimeReg() *Registry {
+	reg := NewRegistry()
+	reg.Counter("attacks.trials", "trials").Inc()
+	reg.Gauge("cpu.ipc", "ipc").Set(1.5)
+	reg.Histogram("attacks.obs.mapped", "obs", []float64{10, 100}).Observe(42)
+	reg.Counter(RuntimeScope+"retries", "wall-clock retries").Inc()
+	reg.Gauge(RuntimeScope+"workers", "workers").Set(4)
+	reg.Histogram(RuntimeScope+"trial.seconds", "wall seconds", []float64{0.01, 1}).Observe(0.02)
+	return reg
+}
+
+// TestDeterministicStripsRuntimeScope: Deterministic drops every
+// runtime.* entry of every kind and keeps everything else intact.
+func TestDeterministicStripsRuntimeScope(t *testing.T) {
+	snap := runtimeReg().Snapshot()
+	if len(snap.Counters) != 2 || len(snap.Gauges) != 2 || len(snap.Histograms) != 2 {
+		t.Fatalf("raw snapshot incomplete: %+v", snap)
+	}
+	d := snap.Deterministic()
+	for name := range d.Counters {
+		if strings.HasPrefix(name, RuntimeScope) {
+			t.Errorf("counter %q survived Deterministic()", name)
+		}
+	}
+	for name := range d.Gauges {
+		if strings.HasPrefix(name, RuntimeScope) {
+			t.Errorf("gauge %q survived Deterministic()", name)
+		}
+	}
+	for name := range d.Histograms {
+		if strings.HasPrefix(name, RuntimeScope) {
+			t.Errorf("histogram %q survived Deterministic()", name)
+		}
+	}
+	if d.Counters["attacks.trials"] != 1 {
+		t.Error("deterministic counter dropped")
+	}
+	if d.Gauges["cpu.ipc"] != 1.5 {
+		t.Error("deterministic gauge dropped")
+	}
+	if d.Histograms["attacks.obs.mapped"].Count != 1 {
+		t.Error("deterministic histogram dropped")
+	}
+	// The raw snapshot is untouched — Deterministic is a copy.
+	if _, ok := snap.Histograms[RuntimeScope+"trial.seconds"]; !ok {
+		t.Error("Deterministic mutated the source snapshot")
+	}
+}
+
+// TestExportsExcludeRuntimeScope: every deterministic export — JSON,
+// Prometheus, manifest — strips the runtime scope, so a traced run's
+// artifacts are byte-identical to an untraced run's.
+func TestExportsExcludeRuntimeScope(t *testing.T) {
+	with := runtimeReg()
+	without := NewRegistry()
+	without.Counter("attacks.trials", "trials").Inc()
+	without.Gauge("cpu.ipc", "ipc").Set(1.5)
+	without.Histogram("attacks.obs.mapped", "obs", []float64{10, 100}).Observe(42)
+
+	jWith, err := with.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jWithout, err := without.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(jWith) != string(jWithout) {
+		t.Errorf("JSON exports differ:\nwith runtime scope:\n%s\nwithout:\n%s", jWith, jWithout)
+	}
+
+	var pWith, pWithout strings.Builder
+	if err := with.WritePrometheus(&pWith); err != nil {
+		t.Fatal(err)
+	}
+	if err := without.WritePrometheus(&pWithout); err != nil {
+		t.Fatal(err)
+	}
+	if pWith.String() != pWithout.String() {
+		t.Errorf("Prometheus exports differ:\nwith:\n%s\nwithout:\n%s", pWith.String(), pWithout.String())
+	}
+	if strings.Contains(pWith.String(), "runtime") {
+		t.Error("runtime scope leaked into the Prometheus export")
+	}
+
+	man := NewManifest("test", 1)
+	man.Finish(with, time.Now())
+	if _, ok := man.Metrics.Histograms[RuntimeScope+"trial.seconds"]; ok {
+		t.Error("runtime scope leaked into the manifest snapshot")
+	}
+	if man.Metrics.Counters["attacks.trials"] != 1 {
+		t.Error("manifest lost the deterministic counters")
+	}
+}

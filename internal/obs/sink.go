@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// attrMap renders attrs as a JSON-marshalable map (encoding/json
+// sorts map keys, so output is stable for equal inputs).
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Val
+	}
+	return m
+}
+
+// usec renders a timestamp as microseconds, the unit both output
+// formats use.
+func usec(e Event) float64 { return float64(e.TS.Nanoseconds()) / 1e3 }
+
+// jsonlRecord is the JSONL wire format: one event per line. The
+// format is what tools/tracestat consumes; field names are short
+// because a traced sweep emits one record per phase per trial.
+type jsonlRecord struct {
+	TS     float64        `json:"ts"` // microseconds since the tracer epoch
+	Ph     string         `json:"ph"` // B / E / i / M
+	Span   uint64         `json:"id,omitempty"`
+	Parent uint64         `json:"par,omitempty"`
+	TID    int            `json:"tid"`
+	Name   string         `json:"name"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// JSONLSink writes one JSON object per event per line — the
+// machine-readable event stream tools/tracestat analyzes.
+type JSONLSink struct {
+	w   *bufio.Writer
+	c   io.Closer // underlying file, when owned
+	err error
+}
+
+// NewJSONLSink writes JSONL events to w. If w is an io.Closer the
+// sink closes it on Close.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit writes one event line. Write errors are sticky and reported by
+// Close.
+func (s *JSONLSink) Emit(e Event) {
+	if s.err != nil {
+		return
+	}
+	buf, err := json.Marshal(jsonlRecord{
+		TS: usec(e), Ph: string(e.Ph), Span: e.Span, Parent: e.Parent,
+		TID: e.TID, Name: e.Name, Attrs: attrMap(e.Attrs),
+	})
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(append(buf, '\n')); err != nil {
+		s.err = err
+	}
+}
+
+// Close flushes the stream and closes the underlying writer.
+func (s *JSONLSink) Close() error {
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if s.c != nil {
+		if err := s.c.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
+}
+
+// chromeEvent is the Chrome trace-event wire format (the JSON array
+// flavor), loadable by Perfetto and chrome://tracing. B/E pairs give
+// nested slices per track; M events name the tracks.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope: thread
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeSink writes the Chrome trace-event JSON array format. Open
+// the resulting file in Perfetto (ui.perfetto.dev) or
+// chrome://tracing: one timeline lane per runner worker, nested
+// slices for scenario → map → trial → phase spans.
+type ChromeSink struct {
+	w     *bufio.Writer
+	c     io.Closer
+	err   error
+	first bool
+}
+
+// NewChromeSink writes a Chrome trace to w. If w is an io.Closer the
+// sink closes it on Close.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{w: bufio.NewWriter(w), first: true}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	s.write([]byte("[\n"))
+	return s
+}
+
+func (s *ChromeSink) write(b []byte) {
+	if s.err != nil {
+		return
+	}
+	_, err := s.w.Write(b)
+	s.err = err
+}
+
+// Emit writes one trace event. Write errors are sticky and reported
+// by Close.
+func (s *ChromeSink) Emit(e Event) {
+	ce := chromeEvent{Name: e.Name, Ph: string(e.Ph), TS: usec(e), PID: 1, TID: e.TID}
+	switch e.Ph {
+	case PhaseInstant:
+		ce.S = "t"
+		ce.Args = attrMap(e.Attrs)
+	case PhaseMetadata:
+		ce.Name = "thread_name"
+		ce.Args = attrMap(e.Attrs)
+	default:
+		ce.Args = attrMap(e.Attrs)
+	}
+	buf, err := json.Marshal(ce)
+	if err != nil {
+		if s.err == nil {
+			s.err = err
+		}
+		return
+	}
+	if !s.first {
+		s.write([]byte(",\n"))
+	}
+	s.first = false
+	s.write(buf)
+}
+
+// Close terminates the JSON array, flushes, and closes the
+// underlying writer.
+func (s *ChromeSink) Close() error {
+	s.write([]byte("\n]\n"))
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if s.c != nil {
+		if err := s.c.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
+}
+
+// CountingSink counts events without recording them — the overhead
+// benchmark's stand-in for a real consumer.
+type CountingSink struct {
+	n int
+}
+
+// Emit counts one event.
+func (s *CountingSink) Emit(Event) { s.n++ }
+
+// Close is a no-op.
+func (s *CountingSink) Close() error { return nil }
+
+// Count returns the number of events emitted so far.
+func (s *CountingSink) Count() int { return s.n }
+
+// String renders the count for log lines.
+func (s *CountingSink) String() string { return fmt.Sprintf("%d events", s.n) }

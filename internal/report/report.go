@@ -22,6 +22,7 @@ import (
 	"vpsec/internal/defense"
 	"vpsec/internal/locality"
 	"vpsec/internal/metrics"
+	"vpsec/internal/obs"
 	"vpsec/internal/rsa"
 	"vpsec/internal/scenario"
 	"vpsec/internal/workload"
@@ -47,6 +48,10 @@ type Config struct {
 	// evaluation the report runs (see internal/metrics). Excluded from
 	// the report's own JSON.
 	Metrics *metrics.Registry `json:"-"`
+
+	// Trace, when non-nil, traces every evaluation the report runs
+	// (see internal/obs). Excluded from the report's own JSON.
+	Trace *obs.Tracer `json:"-"`
 }
 
 func (c *Config) setDefaults() {
@@ -144,6 +149,7 @@ func (c Config) spec(kind scenario.Kind) scenario.Spec {
 		Seed:    c.Seed,
 		Jobs:    c.Jobs,
 		Metrics: c.Metrics,
+		Trace:   c.Trace,
 	}
 }
 

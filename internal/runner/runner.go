@@ -30,8 +30,10 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"vpsec/internal/metrics"
+	"vpsec/internal/obs"
 )
 
 // DefaultRetries is the number of times a failed work item is retried
@@ -60,6 +62,39 @@ type Config struct {
 	// (failed attempts never pollute it). Nil disables all metrics
 	// plumbing — fn is handed a nil registry.
 	Metrics *metrics.Registry
+
+	// Trace, when non-nil, records execution spans into the tracer (see
+	// internal/obs): one "map" span per call, one "worker" span per pool
+	// worker on its own timeline lane, and per-item "trial" spans with
+	// queue-wait attributes, "run"/"merge" child phases, and
+	// retry/skip/cancel instant events. Each item's context carries its
+	// trial span (obs.FromContext), so fn implementations can nest their
+	// own phase spans under it. Tracing is wall-clock observability on
+	// the side: results and the deterministic content of Metrics are
+	// unaffected — the only registry write it adds is the
+	// runtime.trial.seconds histogram, which lives in the sanctioned
+	// non-deterministic metrics.RuntimeScope that every exporter strips.
+	Trace *obs.Tracer
+}
+
+// trialSecondsBounds buckets wall-clock per-item durations; simulator
+// trials run hundreds of microseconds to tens of milliseconds.
+var trialSecondsBounds = []float64{
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// observeTrialSeconds records one successful item's wall-clock
+// duration into the non-deterministic runtime.* scope. Only traced
+// runs call it, so untraced runs register no runtime.* names at all;
+// either way the exporters strip the scope, keeping metrics and
+// manifest exports byte-identical with tracing on or off.
+func observeTrialSeconds(reg *metrics.Registry, sec float64) {
+	if reg == nil {
+		return
+	}
+	reg.Histogram(metrics.RuntimeScope+"trial.seconds",
+		"wall-clock seconds per work item (non-deterministic scope, stripped from exports)",
+		trialSecondsBounds).Observe(sec)
 }
 
 // Map executes fn for every index in [0, n) and returns the results in
@@ -99,6 +134,17 @@ func Map[T any](ctx context.Context, cfg Config, n int, fn func(ctx context.Cont
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// The map span and the per-item enqueue timestamps (for the trial
+	// spans' queue-wait attribute) exist only when tracing is on; the
+	// disabled path allocates nothing here.
+	var mspan obs.Span
+	var queuedAt []time.Time
+	if cfg.Trace.Enabled() {
+		cfg.Trace.NameTrack(0, "main")
+		mspan = cfg.Trace.StartIn(ctx, "map", obs.Int("items", n), obs.Int("jobs", jobs))
+		queuedAt = make([]time.Time, n)
+	}
+
 	out := make([]T, n)
 	errs := make([]error, n)
 	regs := make([]*metrics.Registry, jobs)
@@ -110,33 +156,66 @@ func Map[T any](ctx context.Context, cfg Config, n int, fn func(ctx context.Cont
 			wreg = metrics.NewRegistry()
 			regs[w] = wreg
 		}
+		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker gets its own timeline lane (tid w+1; lane 0 is
+			// the feeding goroutine), so Chrome trace viewers render one
+			// row per worker with the trial spans nested inside.
+			var wspan obs.Span
+			if mspan.Traced() {
+				cfg.Trace.NameTrack(w+1, fmt.Sprintf("worker %d", w))
+				wspan = mspan.ChildOn(w+1, "worker", obs.Int("worker", w))
+				defer wspan.End()
+			}
 			for i := range work {
 				if ctx.Err() != nil {
+					if wspan.Traced() {
+						wspan.Event("skip", obs.Int("item", i))
+					}
 					continue // drain the queue after cancellation
 				}
-				v, err := runItem(ctx, i, wreg, retries, fn)
+				var tspan obs.Span
+				ictx := ctx
+				if wspan.Traced() {
+					// The channel send happens-before this receive, so the
+					// feeder's queuedAt[i] write is visible here.
+					tspan = wspan.Child("trial", obs.Int("item", i),
+						obs.Float("queue_us", float64(time.Since(queuedAt[i]).Nanoseconds())/1e3))
+					ictx = obs.NewContext(ctx, tspan)
+				}
+				v, err := runItem(ictx, i, wreg, retries, tspan, fn)
 				if err != nil {
+					if tspan.Traced() {
+						tspan.End(obs.Str("error", err.Error()))
+					}
 					errs[i] = err
 					cancel()
 					continue
 				}
 				out[i] = v
+				tspan.End()
 			}
 		}()
 	}
 feed:
 	for i := 0; i < n; i++ {
+		if queuedAt != nil {
+			queuedAt[i] = time.Now()
+		}
 		select {
 		case work <- i:
 		case <-ctx.Done():
+			if mspan.Traced() {
+				mspan.Event("cancel", obs.Int("item", i))
+			}
 			break feed
 		}
 	}
 	close(work)
 	wg.Wait()
+	mspan.End()
 
 	// The barrier: fold the workers into the shared registry, then
 	// recompute the totals-derived gauges so they match the values the
@@ -174,14 +253,38 @@ feed:
 // writing cfg.Metrics directly, failing fast, never retrying — the
 // exact behavior of the pre-runner trial loops.
 func mapSequential[T any](ctx context.Context, cfg Config, n int, fn func(ctx context.Context, index int, reg *metrics.Registry) (T, error)) ([]T, error) {
+	var mspan obs.Span
+	if cfg.Trace.Enabled() {
+		cfg.Trace.NameTrack(0, "main")
+		mspan = cfg.Trace.StartIn(ctx, "map", obs.Int("items", n), obs.Int("jobs", 1))
+		defer mspan.End()
+	}
 	out := make([]T, n)
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
+			if mspan.Traced() {
+				mspan.Event("cancel", obs.Int("item", i))
+			}
 			return nil, err
 		}
-		v, err := fn(ctx, i, cfg.Metrics)
+		ictx := ctx
+		var tspan obs.Span
+		var t0 time.Time
+		if mspan.Traced() {
+			tspan = mspan.Child("trial", obs.Int("item", i))
+			ictx = obs.NewContext(ctx, tspan)
+			t0 = time.Now()
+		}
+		v, err := fn(ictx, i, cfg.Metrics)
 		if err != nil {
+			if tspan.Traced() {
+				tspan.End(obs.Str("error", err.Error()))
+			}
 			return nil, fmt.Errorf("runner: item %d: %w", i, err)
+		}
+		if tspan.Traced() {
+			observeTrialSeconds(cfg.Metrics, time.Since(t0).Seconds())
+			tspan.End()
 		}
 		out[i] = v
 	}
@@ -192,11 +295,14 @@ func mapSequential[T any](ctx context.Context, cfg Config, n int, fn func(ctx co
 // records into a fresh scratch registry; only a successful attempt's
 // scratch is folded into the worker registry, so a failed-then-retried
 // item contributes exactly one trial's worth of metrics.
-func runItem[T any](ctx context.Context, i int, wreg *metrics.Registry, retries int, fn func(ctx context.Context, index int, reg *metrics.Registry) (T, error)) (T, error) {
+func runItem[T any](ctx context.Context, i int, wreg *metrics.Registry, retries int, span obs.Span, fn func(ctx context.Context, index int, reg *metrics.Registry) (T, error)) (T, error) {
 	var zero T
 	var err error
 	for attempt := 0; attempt <= retries; attempt++ {
 		if cerr := ctx.Err(); cerr != nil {
+			if span.Traced() {
+				span.Event("cancel", obs.Int("attempt", attempt))
+			}
 			if err == nil {
 				err = cerr
 			}
@@ -206,11 +312,32 @@ func runItem[T any](ctx context.Context, i int, wreg *metrics.Registry, retries 
 		if wreg != nil {
 			scratch = metrics.NewRegistry()
 		}
+		var rspan obs.Span
+		var t0 time.Time
+		if span.Traced() {
+			if attempt > 0 {
+				span.Event("retry", obs.Int("attempt", attempt))
+			}
+			rspan = span.Child("run", obs.Int("attempt", attempt))
+			t0 = time.Now()
+		}
 		var v T
 		v, err = fn(ctx, i, scratch)
+		if rspan.Traced() {
+			rspan.End()
+		}
 		if err == nil {
 			if wreg != nil {
-				wreg.Merge(scratch)
+				if span.Traced() {
+					msp := span.Child("merge")
+					wreg.Merge(scratch)
+					msp.End()
+				} else {
+					wreg.Merge(scratch)
+				}
+			}
+			if span.Traced() {
+				observeTrialSeconds(wreg, time.Since(t0).Seconds())
 			}
 			return v, nil
 		}

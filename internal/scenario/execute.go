@@ -11,6 +11,7 @@ import (
 	"vpsec/internal/core"
 	"vpsec/internal/cpu"
 	"vpsec/internal/defense"
+	"vpsec/internal/obs"
 	"vpsec/internal/predictor"
 )
 
@@ -71,6 +72,16 @@ func (r *Result) Case() attacks.CaseResult {
 func Execute(ctx context.Context, s Spec) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	// One root span per scenario, carrying the content hash of the spec
+	// so a trace is attributable to the exact experiment definition.
+	// The span rides the context into the runner, which nests the map,
+	// worker and trial spans beneath it.
+	if s.Trace.Enabled() {
+		span := s.Trace.Start("scenario",
+			obs.Str("name", s.Name), obs.Str("kind", string(s.Kind)), obs.Str("spec_sha256", s.Hash()))
+		defer span.End()
+		ctx = obs.NewContext(ctx, span)
 	}
 	if s.Kind == KindSim {
 		return executeSim(s)

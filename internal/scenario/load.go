@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -57,6 +58,22 @@ func Resolve(arg string) (Spec, error) {
 // round-trip format of the golden tests and of -describe.
 func (s Spec) MarshalIndent() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
+}
+
+// Hash returns the sha256 hex digest of the spec's canonical JSON — a
+// stable content address for the experiment definition. Equal specs
+// hash equal regardless of where they came from (registry, file,
+// legacy flags), and infrastructure fields excluded from JSON
+// (Metrics, Trace) do not participate. The scenario trace span records
+// it, and a job server can key result caches on it.
+func (s Spec) Hash() string {
+	data, err := json.Marshal(s)
+	if err != nil {
+		// Spec marshaling cannot fail (plain data fields only), but a
+		// hash must never panic an experiment.
+		return ""
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(data))
 }
 
 // Describe renders a registered or file spec as canonical JSON.

@@ -30,6 +30,7 @@ import (
 	"vpsec/internal/cpu"
 	"vpsec/internal/defense"
 	"vpsec/internal/metrics"
+	"vpsec/internal/obs"
 	"vpsec/internal/predictor"
 )
 
@@ -202,6 +203,14 @@ type Spec struct {
 	// the legacy flag paths wired it. Excluded from JSON: a registry is
 	// shared infrastructure, not part of the experiment description.
 	Metrics *metrics.Registry `json:"-"`
+
+	// Trace, when non-nil, records execution spans for the run (see
+	// internal/obs): a "scenario" root span plus the runner's map,
+	// worker and trial spans and the attack-phase spans beneath it.
+	// Excluded from JSON like Metrics — observability infrastructure,
+	// not part of the experiment description — and therefore also
+	// excluded from Hash.
+	Trace *obs.Tracer `json:"-"`
 }
 
 // Defaults returns the paper's documented evaluation defaults — 100
@@ -281,6 +290,7 @@ func (s *Spec) options() (attacks.Options, error) {
 		TrainIters:  s.TrainIters,
 		NoSyncCost:  s.NoSyncCost,
 		Metrics:     s.Metrics,
+		Trace:       s.Trace,
 	}
 	if s.MemJitter != nil {
 		opt.Noise = cpu.Noise{MemJitter: *s.MemJitter, HitJitter: 2}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// event is the normalized form of one trace record from either wire
+// format: timestamps in microseconds, phase letters as in the Chrome
+// trace-event spec (B, E, i, M).
+type event struct {
+	TS    float64
+	Ph    string
+	ID    uint64 // span id; 0 in the Chrome format
+	TID   int
+	Name  string
+	Attrs map[string]any
+}
+
+// span is one paired B/E interval.
+type span struct {
+	name       string
+	tid        int
+	start, end float64
+	attrs      map[string]any // begin-record attributes
+}
+
+// parseTrace reads either trace format, sniffing from the first
+// non-space byte: a Chrome trace-event file is a JSON array ('['),
+// the JSONL stream starts with an object ('{').
+func parseTrace(r io.Reader) ([]event, error) {
+	br := bufio.NewReader(r)
+	first, err := firstByte(br)
+	if err != nil {
+		return nil, err
+	}
+	if first == '[' {
+		return parseChrome(br)
+	}
+	return parseJSONL(br)
+}
+
+// firstByte peeks past leading whitespace.
+func firstByte(br *bufio.Reader) (byte, error) {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("empty trace: %v", err)
+		}
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		}
+		return b, br.UnreadByte()
+	}
+}
+
+// jsonlRecord mirrors internal/obs's JSONL wire format.
+type jsonlRecord struct {
+	TS    float64        `json:"ts"`
+	Ph    string         `json:"ph"`
+	ID    uint64         `json:"id"`
+	TID   int            `json:"tid"`
+	Name  string         `json:"name"`
+	Attrs map[string]any `json:"attrs"`
+}
+
+// parseJSONL decodes one event per line.
+func parseJSONL(r io.Reader) ([]event, error) {
+	var events []event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec jsonlRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		events = append(events, event{
+			TS: rec.TS, Ph: rec.Ph, ID: rec.ID, TID: rec.TID,
+			Name: rec.Name, Attrs: rec.Attrs,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// chromeRecord mirrors the Chrome trace-event array entries.
+type chromeRecord struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// parseChrome decodes the JSON array format.
+func parseChrome(r io.Reader) ([]event, error) {
+	var recs []chromeRecord
+	if err := json.NewDecoder(r).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("chrome trace: %v", err)
+	}
+	events := make([]event, 0, len(recs))
+	for _, rec := range recs {
+		events = append(events, event{
+			TS: rec.TS, Ph: rec.Ph, TID: rec.TID,
+			Name: rec.Name, Attrs: rec.Args,
+		})
+	}
+	return events, nil
+}
+
+// pair matches begin and end events into spans. JSONL events carry
+// span ids; Chrome events do not, but the format guarantees B/E
+// nesting per tid, so a per-lane stack recovers the pairing. The
+// returned counts tally the instant events by name; open is the
+// number of begins left unmatched (a truncated trace).
+func pair(events []event) (spans []span, counts map[string]int, open int, err error) {
+	counts = map[string]int{}
+	byID := map[uint64]event{}
+	stacks := map[int][]event{}
+	for _, e := range events {
+		switch e.Ph {
+		case "B":
+			if e.ID != 0 {
+				byID[e.ID] = e
+			} else {
+				stacks[e.TID] = append(stacks[e.TID], e)
+			}
+		case "E":
+			var b event
+			ok := false
+			if e.ID != 0 {
+				b, ok = byID[e.ID]
+				delete(byID, e.ID)
+			} else if st := stacks[e.TID]; len(st) > 0 {
+				b, ok = st[len(st)-1], true
+				stacks[e.TID] = st[:len(st)-1]
+			}
+			if !ok {
+				return nil, nil, 0, fmt.Errorf("end event %q (ts %.1f, tid %d) has no begin", e.Name, e.TS, e.TID)
+			}
+			spans = append(spans, span{
+				name: b.Name, tid: b.TID, start: b.TS, end: e.TS, attrs: b.Attrs,
+			})
+		case "i":
+			counts[e.Name]++
+		}
+	}
+	open = len(byID)
+	for _, st := range stacks {
+		open += len(st)
+	}
+	return spans, counts, open, nil
+}
