@@ -18,9 +18,18 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build test vet race bench bench-metrics bench-runner bench-core bench-obs alloc-budget docs diff fuzz scenarios
+.PHONY: check build test vet race bench bench-metrics bench-runner bench-core bench-obs alloc-budget docs diff fuzz scenarios server-check
 
-check: vet build race alloc-budget diff scenarios docs bench-obs
+check: vet build race alloc-budget diff scenarios docs bench-obs server-check
+
+# Experiment-server gate: build cmd/vpserver, then run the end-to-end
+# suite against an in-process instance — submit→poll→fetch, cache-hit
+# byte identity, singleflight, admission control, drain — plus the
+# VPSERVER_FULL-gated acceptance run: the full 65-entry registry
+# batched cold and re-batched hot (all cache hits). See docs/SERVER.md.
+server-check:
+	$(GO) build -o /dev/null ./cmd/vpserver
+	VPSERVER_FULL=1 $(GO) test ./internal/server -count=1
 
 # Scenario registry gate: every registered spec validates, round-trips
 # through JSON byte-for-byte, matches the committed golden registry
@@ -92,8 +101,10 @@ bench-obs:
 
 # Documentation gate: vet, formatting, and doc coverage of the
 # experiment surface (every exported symbol in the runner, attacks,
-# report, oracle and progen packages must carry a doc comment — godoc
-# is the reference documentation the experiments guide links into).
+# report, oracle, progen, scenario, obs and server packages must carry
+# a doc comment — godoc is the reference documentation the experiments
+# guide links into). -api keeps docs/SERVER.md aligned with the routes
+# internal/server actually registers.
 docs: vet
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -l:"; echo "$$out"; exit 1; fi
-	$(GO) run ./tools/doccheck ./internal/runner ./internal/attacks ./internal/report ./internal/oracle ./internal/progen ./internal/scenario ./internal/obs
+	$(GO) run ./tools/doccheck -api docs/SERVER.md:internal/server ./internal/runner ./internal/attacks ./internal/report ./internal/oracle ./internal/progen ./internal/scenario ./internal/obs ./internal/server

@@ -1,0 +1,245 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"reflect"
+
+	"vpsec/internal/attacks"
+	"vpsec/internal/core"
+	"vpsec/internal/defense"
+)
+
+// Canonical returns the spec reduced to its experiment content alone —
+// the normal form that Hash digests and that a result cache keys on.
+// Two specs that run the same experiment canonicalize (and therefore
+// hash) equal, no matter how they were spelled:
+//
+//   - Presentation and infrastructure fields are cleared: Name and
+//     Title label a spec without changing what it runs, Jobs only
+//     selects a worker count (results are byte-identical at every
+//     value, the runner's contract), and Metrics/Trace are excluded
+//     from JSON already.
+//   - Documented defaults are applied explicitly: an elided field and
+//     its spelled-out default ("runs": 100, "confidence": 4,
+//     "predictor": "lvp", the timing-window channel, the standard
+//     sweep points) are the same experiment, so they must be the same
+//     bytes.
+//   - Fields the kind provably ignores are zeroed, mirroring Execute:
+//     the eviction and variant kinds force the timing-window channel
+//     and SMT forces volatile, Table III / figure / matrix kinds
+//     iterate their own channel (and, for the matrix, defense) axes,
+//     and the sweep kinds overwrite the knob they sweep.
+//
+// JSON key order never participates: Parse decodes into the struct and
+// marshaling emits fields in declaration order, so canonical JSON is a
+// function of field values only. Canonical is idempotent, and a valid
+// spec stays valid (the golden tests assert both).
+func (s Spec) Canonical() Spec {
+	c := s
+	c.Name, c.Title = "", ""
+	c.Jobs = 0
+	c.Metrics, c.Trace = nil, nil
+
+	if c.Predictor == "" {
+		c.Predictor = string(attacks.LVP)
+	}
+
+	if c.Kind == KindSim {
+		// A sim spec is (program, predictor, scheme, confidence, seed);
+		// every attack-harness knob is ignored by executeSim.
+		if c.Scheme == "" {
+			c.Scheme = "pc"
+		}
+		if c.Confidence == 0 {
+			c.Confidence = 4
+		}
+		c.Channel, c.Category, c.Variant = "", "", ""
+		c.Categories = nil
+		c.Runs = 0
+		c.Defense = nil
+		c.UsePID, c.Prefetch, c.Replay, c.ResetModify = false, false, false, false
+		c.FPC, c.TrainIters, c.NoSyncCost = 0, 0, false
+		c.MemJitter, c.Jitters, c.Confidences = nil, nil, nil
+		c.MaxWindow, c.Strategies = 0, nil
+		return c
+	}
+
+	// The attack kinds: sim-only fields are ignored.
+	c.Program, c.Scheme = "", ""
+
+	// attacks.Options documented defaults (Options.WithDefaults).
+	if c.Confidence == 0 {
+		c.Confidence = 4
+	}
+	if c.Runs == 0 {
+		c.Runs = 100
+	}
+	if c.Channel == "" {
+		c.Channel = core.TimingWindow.String()
+	}
+	if c.Defense != nil && *c.Defense == (DefenseSpec{}) {
+		c.Defense = nil
+	}
+
+	switch c.Kind {
+	case KindVariant:
+		// RunVariant derives the category from the pattern and forces
+		// the timing-window channel.
+		c.Category = ""
+		c.Channel = core.TimingWindow.String()
+	case KindEviction:
+		// Execute forces the timing-window channel and the kind has no
+		// category parameter.
+		c.Category = ""
+		c.Channel = core.TimingWindow.String()
+	case KindSMT:
+		// RunVolatileSMT forces the volatile channel.
+		c.Channel = core.Volatile.String()
+	case KindTableIII:
+		// TableIII iterates every (category, channel) cell itself.
+		c.Category = ""
+		c.Channel = ""
+	case KindFigure:
+		// The four panels pin their own channel and predictor axes; only
+		// the category and the VP-panel predictor come from the spec.
+		c.Channel = ""
+	case KindNoiseSweep:
+		// The sweep overwrites the jitter per point.
+		c.MemJitter = nil
+		if len(c.Jitters) == 0 {
+			c.Jitters = []uint64{0, 12, 50, 100, 200, 400, 800}
+		}
+	case KindConfSweep:
+		// The sweep overwrites the confidence number per point.
+		c.Confidence = 0
+		if len(c.Confidences) == 0 {
+			c.Confidences = []int{2, 3, 4, 6, 8}
+		}
+	case KindDefenseSweep:
+		// The sweep covers sweepCategories and overwrites the R window
+		// per point; Categories is the canonical spelling of the list.
+		c.Categories = append([]string(nil), c.sweepCategories()...)
+		c.Category = ""
+		if c.MaxWindow == 0 {
+			c.MaxWindow = 10
+		}
+		if c.Defense != nil && c.Defense.Strategy == "" {
+			d := *c.Defense
+			d.RWindow = 0
+			if d == (DefenseSpec{}) {
+				c.Defense = nil
+			} else {
+				c.Defense = &d
+			}
+		}
+	case KindDefenseMatrix:
+		// Matrix iterates every (category, channel, strategy) cell; an
+		// empty strategy list means all of defense.Strategies, and the
+		// spec's own channel/category/defense fields are overwritten.
+		c.Category = ""
+		c.Channel = ""
+		c.Defense = nil
+		if len(c.Strategies) == 0 {
+			for _, st := range defense.Strategies() {
+				c.Strategies = append(c.Strategies, st.Name)
+			}
+		}
+	}
+	return c
+}
+
+// CanonicalJSON renders the result in its canonical byte form — the
+// representation a content-addressed result store keeps and serves.
+// The embedded spec is canonicalized and the echoed worker counts
+// (Opt.Jobs, including the per-case copies) are zeroed, so equal-seed
+// runs marshal to identical bytes at every concurrency level: the
+// runner's determinism contract already makes every observation,
+// statistic and derived field identical, and this strips the one field
+// that merely records how the work was scheduled.
+func (r *Result) CanonicalJSON() ([]byte, error) {
+	c := *r
+	c.Spec = c.Spec.Canonical()
+	c.Opt.Jobs = 0
+	c.Opt.Metrics, c.Opt.Trace = nil, nil
+	c.Cases = append([]attacks.CaseResult(nil), c.Cases...)
+	for i := range c.Cases {
+		c.Cases[i].Opt.Jobs = 0
+	}
+	c.Table3 = append([]attacks.TableIIIRow(nil), c.Table3...)
+	for i := range c.Table3 {
+		c.Table3[i].TWNoVP.Opt.Jobs = 0
+		c.Table3[i].TWVP.Opt.Jobs = 0
+		c.Table3[i].PersNoVP.Opt.Jobs = 0
+		c.Table3[i].PersVP.Opt.Jobs = 0
+	}
+	sanitizeFloats(reflect.ValueOf(&c).Elem())
+	data, err := json.MarshalIndent(&c, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: marshal result: %v", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// sanitizeFloats rewrites non-finite float64s in v to JSON-encodable
+// values: ±Inf clamps to ±math.MaxFloat64, NaN becomes 0. Degenerate
+// cells produce infinities legitimately — a zero-variance Welch t-test
+// on constant samples with different means is t = ±Inf (perfect
+// separation) — but JSON has no encoding for them, so the serialized
+// form carries the clamp instead. Slices are copied before rewriting
+// (CanonicalJSON works on a shallow copy whose slices are shared with
+// the caller's Result); struct fields marked json:"-" (registry and
+// tracer pointers) are never entered.
+func sanitizeFloats(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Float64, reflect.Float32:
+		f := v.Float()
+		switch {
+		case math.IsInf(f, 1):
+			v.SetFloat(math.MaxFloat64)
+		case math.IsInf(f, -1):
+			v.SetFloat(-math.MaxFloat64)
+		case math.IsNaN(f):
+			v.SetFloat(0)
+		}
+	case reflect.Slice:
+		if v.IsNil() {
+			return
+		}
+		fresh := reflect.MakeSlice(v.Type(), v.Len(), v.Len())
+		reflect.Copy(fresh, v)
+		v.Set(fresh)
+		for i := 0; i < v.Len(); i++ {
+			sanitizeFloats(v.Index(i))
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			sanitizeFloats(v.Index(i))
+		}
+	case reflect.Ptr:
+		if v.IsNil() {
+			return
+		}
+		fresh := reflect.New(v.Type().Elem())
+		fresh.Elem().Set(v.Elem())
+		v.Set(fresh)
+		sanitizeFloats(v.Elem())
+	case reflect.Map:
+		for _, k := range v.MapKeys() {
+			e := reflect.New(v.Type().Elem()).Elem()
+			e.Set(v.MapIndex(k))
+			sanitizeFloats(e)
+			v.SetMapIndex(k, e)
+		}
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			f := t.Field(i)
+			if f.PkgPath != "" || f.Tag.Get("json") == "-" {
+				continue
+			}
+			sanitizeFloats(v.Field(i))
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"vpsec/internal/attacks"
+	"vpsec/internal/core"
+	"vpsec/internal/metrics"
+	"vpsec/internal/obs"
+)
+
+// TestCanonicalKeyOrderAndElision: the canonicalization round-trip the
+// cache key rests on — one JSON spelling with keys in one order and
+// every default elided, one with keys reordered and every default
+// spelled out, one hash.
+func TestCanonicalKeyOrderAndElision(t *testing.T) {
+	elided, err := Parse([]byte(`{
+		"kind": "case",
+		"category": "Train + Test"
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spelled, err := Parse([]byte(`{
+		"seed": 0,
+		"runs": 100,
+		"confidence": 4,
+		"channel": "timing-window",
+		"predictor": "lvp",
+		"category": "Train + Test",
+		"kind": "case"
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elided.Hash() != spelled.Hash() {
+		t.Errorf("elided-defaults spec and spelled-out spec hash differently:\n  %s\n  %s",
+			elided.Hash(), spelled.Hash())
+	}
+	if elided.Runs == spelled.Runs {
+		t.Error("the two spellings decode to equal structs; the test no longer exercises elision")
+	}
+}
+
+// TestCanonicalStripsPresentationAndInfra: Name, Title and Jobs label
+// or schedule an experiment without changing it, so a registry spec
+// hashes equal to the same experiment written by hand.
+func TestCanonicalStripsPresentationAndInfra(t *testing.T) {
+	reg, ok := Lookup("train-test-timing-lvp")
+	if !ok {
+		t.Fatal("registry scenario train-test-timing-lvp missing")
+	}
+	adhoc := Spec{
+		Kind:       KindCase,
+		Predictor:  "lvp",
+		Confidence: 4,
+		Channel:    core.TimingWindow.String(),
+		Category:   string(core.TrainTest),
+		Runs:       100,
+		Seed:       1,
+		Jobs:       7,
+	}
+	if reg.Hash() != adhoc.Hash() {
+		t.Errorf("registry spec and equivalent ad-hoc spec hash differently")
+	}
+	c := reg.Canonical()
+	if c.Name != "" || c.Title != "" || c.Jobs != 0 {
+		t.Errorf("canonical spec keeps presentation/infra fields: %+v", c)
+	}
+}
+
+// TestCanonicalKindNormalization: per-kind normalizations — forced
+// channels, swept knobs, resolved lists — fold equivalent spellings
+// together without merging distinct experiments.
+func TestCanonicalKindNormalization(t *testing.T) {
+	hash := func(s Spec) string { return s.Hash() }
+
+	// SMT always runs the volatile channel.
+	smt := Spec{Kind: KindSMT, Category: string(core.TestHit)}
+	smtVolatile := smt
+	smtVolatile.Channel = core.Volatile.String()
+	if hash(smt) != hash(smtVolatile) {
+		t.Error("smt spec with and without the forced volatile channel hash differently")
+	}
+
+	// A defense sweep's single Category and the one-element Categories
+	// list are the same sweep; the swept R window is not identity.
+	sweep := Spec{Kind: KindDefenseSweep, Category: string(core.TestHit), Runs: 60}
+	sweepList := Spec{Kind: KindDefenseSweep, Categories: []string{string(core.TestHit)}, Runs: 60, MaxWindow: 10}
+	if hash(sweep) != hash(sweepList) {
+		t.Error("defense-sweep Category vs Categories spellings hash differently")
+	}
+
+	// A conf-sweep's Confidence field is overwritten per point.
+	cs := Spec{Kind: KindConfSweep, Category: string(core.TrainTest)}
+	csConf := cs
+	csConf.Confidence = 4
+	if hash(cs) != hash(csConf) {
+		t.Error("conf-sweep confidence participates in the hash despite being swept")
+	}
+
+	// Distinct experiments must stay distinct.
+	other := Spec{Kind: KindCase, Category: string(core.TrainTest)}
+	changed := other
+	changed.Predictor = "vtage"
+	if hash(other) == hash(changed) {
+		t.Error("different predictors hash equal")
+	}
+	otherSeed := other
+	otherSeed.Seed = 2
+	if hash(other) == hash(otherSeed) {
+		t.Error("different seeds hash equal")
+	}
+}
+
+// TestCanonicalIdempotentAndValid: canonicalization is a projection —
+// applying it twice changes nothing — and it maps every registered
+// spec to a spec that still validates (the server executes canonical
+// specs directly).
+func TestCanonicalIdempotentAndValid(t *testing.T) {
+	for _, s := range All() {
+		c := s.Canonical()
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: canonical spec no longer validates: %v", s.Name, err)
+		}
+		cc := c.Canonical()
+		a, err := c.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cc.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s: Canonical is not idempotent:\n%s\nvs\n%s", s.Name, a, b)
+		}
+	}
+}
+
+// TestResultCanonicalJSONWorkerInvariant: the canonical result bytes —
+// what the server caches — are identical at every worker count, even
+// though the spec records the Jobs override it ran with.
+func TestResultCanonicalJSONWorkerInvariant(t *testing.T) {
+	render := func(jobs int) string {
+		spec := Spec{
+			Kind: KindCase, Category: string(core.TestHit),
+			Runs: small, Seed: 3, Jobs: jobs,
+		}
+		res, err := Execute(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := res.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if render(1) != render(4) {
+		t.Error("canonical result JSON differs between 1 and 4 workers")
+	}
+}
+
+// TestCanonicalJSONStripsInfra: a result produced with metrics and
+// tracing attached serializes identically to a bare run — registries
+// and tracers are infrastructure, not results.
+func TestCanonicalJSONStripsInfra(t *testing.T) {
+	run := func(infra bool) string {
+		spec := Spec{Kind: KindCase, Category: string(core.TrainTest), Runs: small, Seed: 2}
+		if infra {
+			spec.Metrics = metrics.NewRegistry()
+			spec.Trace = obs.New(&obs.CountingSink{})
+		}
+		res, err := Execute(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := res.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if run(false) != run(true) {
+		t.Error("attaching metrics/tracing changed the canonical result bytes")
+	}
+}
+
+// TestCanonicalJSONSanitizesNonFinite: degenerate cells legitimately
+// produce ±Inf statistics (zero-variance Welch t on constant samples);
+// the canonical byte form clamps them to ±MaxFloat64 so JSON encoding
+// never fails, and the sanitizer must not write through to the
+// caller's Result (its slices are shared).
+func TestCanonicalJSONSanitizesNonFinite(t *testing.T) {
+	r := Result{
+		Spec: Spec{Kind: KindCase, Category: string(core.TrainTest)},
+		Cases: []attacks.CaseResult{{
+			TTrajectory: []float64{1.5, math.Inf(1), math.Inf(-1), math.NaN()},
+		}},
+	}
+	r.Cases[0].T.T = math.Inf(1)
+
+	data, err := r.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("CanonicalJSON with non-finite stats: %v", err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("canonical bytes do not round-trip: %v", err)
+	}
+	got := back.Cases[0].TTrajectory
+	want := []float64{1.5, math.MaxFloat64, -math.MaxFloat64, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("trajectory[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if back.Cases[0].T.T != math.MaxFloat64 {
+		t.Errorf("T clamped to %g, want MaxFloat64", back.Cases[0].T.T)
+	}
+	// The original result is untouched.
+	if !math.IsInf(r.Cases[0].TTrajectory[1], 1) || !math.IsInf(r.Cases[0].T.T, 1) {
+		t.Error("sanitizer mutated the caller's Result")
+	}
+}

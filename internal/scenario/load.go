@@ -61,13 +61,17 @@ func (s Spec) MarshalIndent() ([]byte, error) {
 }
 
 // Hash returns the sha256 hex digest of the spec's canonical JSON — a
-// stable content address for the experiment definition. Equal specs
-// hash equal regardless of where they came from (registry, file,
-// legacy flags), and infrastructure fields excluded from JSON
-// (Metrics, Trace) do not participate. The scenario trace span records
-// it, and a job server can key result caches on it.
+// stable content address for the experiment definition. Equivalent
+// specs hash equal regardless of where they came from (registry, file,
+// legacy flags) and of how they were spelled: JSON key order cannot
+// matter (Parse decodes into the struct), elided fields and their
+// documented defaults digest identically, and presentation or
+// infrastructure fields (Name, Title, Jobs, Metrics, Trace) do not
+// participate — see Canonical, which defines the normal form. The
+// scenario trace span records the hash as spec_sha256, and the result
+// server (internal/server) keys its content-addressed cache on it.
 func (s Spec) Hash() string {
-	data, err := json.Marshal(s)
+	data, err := json.Marshal(s.Canonical())
 	if err != nil {
 		// Spec marshaling cannot fail (plain data fields only), but a
 		// hash must never panic an experiment.

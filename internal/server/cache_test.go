@@ -1,0 +1,136 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleKey returns a well-formed cache key (sha256 hex).
+func sampleKey(b byte) string {
+	return strings.Repeat(fmt.Sprintf("%02x", b), 32)
+}
+
+// TestStoreRoundTrip: every Store implementation gets, puts, and
+// counts consistently.
+func TestStoreRoundTrip(t *testing.T) {
+	disk, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := map[string]Store{
+		"mem":    NewMemStore(),
+		"disk":   disk,
+		"tiered": NewTieredStore(mustDisk(t)),
+	}
+	for name, s := range stores {
+		t.Run(name, func(t *testing.T) {
+			key := sampleKey(0xab)
+			if _, ok := s.Get(key); ok {
+				t.Fatal("empty store reported a hit")
+			}
+			want := []byte(`{"spec": {}}` + "\n")
+			if err := s.Put(key, want); err != nil {
+				t.Fatal(err)
+			}
+			got, ok := s.Get(key)
+			if !ok || !bytes.Equal(got, want) {
+				t.Fatalf("Get = %q, %v; want %q, true", got, ok, want)
+			}
+			if s.Len() != 1 {
+				t.Fatalf("Len = %d, want 1", s.Len())
+			}
+			// Same-key overwrite keeps a single entry.
+			if err := s.Put(key, want); err != nil {
+				t.Fatal(err)
+			}
+			if s.Len() != 1 {
+				t.Fatalf("Len after overwrite = %d, want 1", s.Len())
+			}
+		})
+	}
+}
+
+// mustDisk builds a DiskStore in a test temp dir.
+func mustDisk(t *testing.T) *DiskStore {
+	t.Helper()
+	s, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestDiskStorePersistsAcrossInstances: a second store over the same
+// directory — a server restart — sees the first one's entries.
+func TestDiskStorePersistsAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	first, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := sampleKey(0x01)
+	if err := first.Put(key, []byte("result")); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok := second.Get(key)
+	if !ok || string(data) != "result" {
+		t.Fatalf("restart lost the entry: %q, %v", data, ok)
+	}
+
+	// The on-disk form is the documented <hash>.json layout.
+	if _, err := os.Stat(filepath.Join(dir, key+".json")); err != nil {
+		t.Errorf("expected %s.json on disk: %v", key, err)
+	}
+}
+
+// TestDiskStoreRejectsMalformedKeys: anything that is not a sha256 hex
+// digest is a miss on Get and an error on Put — a key never becomes an
+// arbitrary file path.
+func TestDiskStoreRejectsMalformedKeys(t *testing.T) {
+	s := mustDisk(t)
+	for _, key := range []string{
+		"",
+		"short",
+		"../../etc/passwd",
+		strings.Repeat("A", 64),      // wrong case
+		strings.Repeat("g", 64),      // not hex
+		sampleKey(0x01) + "x",        // too long
+		"../" + sampleKey(0x01)[:61], // traversal, right length
+	} {
+		if _, ok := s.Get(key); ok {
+			t.Errorf("Get(%q) hit", key)
+		}
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted", key)
+		}
+	}
+	if s.Len() != 0 {
+		t.Errorf("malformed puts left %d entries", s.Len())
+	}
+}
+
+// TestTieredStoreFillsFromBack: a get that misses memory but hits the
+// backing tier fills the memory tier.
+func TestTieredStoreFillsFromBack(t *testing.T) {
+	back := mustDisk(t)
+	key := sampleKey(0x42)
+	if err := back.Put(key, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTieredStore(back)
+	if _, ok := tiered.Get(key); !ok {
+		t.Fatal("tiered store missed a backing-tier entry")
+	}
+	if _, ok := tiered.mem.Get(key); !ok {
+		t.Error("backing-tier hit did not fill the memory tier")
+	}
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	doccheck ./internal/runner ./internal/attacks ./internal/report
+//	doccheck [-api MDFILE:PKGDIR] ./internal/runner ./internal/attacks
 //
 // Each argument is a package directory (the ./ prefix is optional).
 // doccheck parses every non-test .go file, requires a doc comment on
@@ -16,25 +16,38 @@
 // exits 1 listing every violation as file:line. Struct fields are not
 // gated (json tags and the owning type's comment carry that schema),
 // matching the scope of conventional exported-symbol lint.
+//
+// The -api flag keeps an HTTP API reference honest: it extracts every
+// route-pattern string literal ("GET /v1/jobs", "POST /v1/batch", …)
+// from PKGDIR's sources and requires each to appear verbatim in
+// MDFILE. A route registered in code but absent from the reference —
+// or a package that yields no routes at all, meaning the extraction
+// went stale — fails the build. `make docs` points it at
+// docs/SERVER.md and internal/server.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: doccheck <pkg-dir> [pkg-dir...]")
+	api := flag.String("api", "", "MDFILE:PKGDIR — require every route literal in PKGDIR to appear in MDFILE")
+	flag.Parse()
+	if flag.NArg() < 1 && *api == "" {
+		fmt.Fprintln(os.Stderr, "usage: doccheck [-api MDFILE:PKGDIR] <pkg-dir> [pkg-dir...]")
 		os.Exit(2)
 	}
 	bad := 0
-	for _, dir := range os.Args[1:] {
+	for _, dir := range flag.Args() {
 		dir = strings.TrimPrefix(dir, "./")
 		missing, err := checkDir(dir)
 		if err != nil {
@@ -50,6 +63,80 @@ func main() {
 		fmt.Fprintf(os.Stderr, "doccheck: %d exported symbol(s) without doc comments\n", bad)
 		os.Exit(1)
 	}
+	if *api != "" {
+		if err := checkAPI(*api); err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// routePattern recognizes net/http method+path route literals as
+// registered with ServeMux ("GET /v1/jobs/{id}", "POST /v1/batch").
+var routePattern = regexp.MustCompile(`^(GET|HEAD|POST|PUT|PATCH|DELETE) /`)
+
+// checkAPI enforces one MDFILE:PKGDIR pairing: every route literal in
+// the package must appear verbatim in the markdown API reference.
+func checkAPI(arg string) error {
+	md, dir, ok := strings.Cut(arg, ":")
+	if !ok {
+		return fmt.Errorf("-api wants MDFILE:PKGDIR, got %q", arg)
+	}
+	routes, err := extractRoutes(strings.TrimPrefix(dir, "./"))
+	if err != nil {
+		return err
+	}
+	if len(routes) == 0 {
+		return fmt.Errorf("-api: no route literals found in %s (extraction stale?)", dir)
+	}
+	doc, err := os.ReadFile(md)
+	if err != nil {
+		return err
+	}
+	var missing []string
+	for _, r := range routes {
+		if !strings.Contains(string(doc), r) {
+			missing = append(missing, r)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%s does not document route(s): %s", md, strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// extractRoutes collects the distinct route-pattern string literals of
+// one package directory, sorted by first appearance.
+func extractRoutes(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var routes []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				s, err := strconv.Unquote(lit.Value)
+				if err != nil || !routePattern.MatchString(s) {
+					return true
+				}
+				if !seen[s] {
+					seen[s] = true
+					routes = append(routes, s)
+				}
+				return true
+			})
+		}
+	}
+	return routes, nil
 }
 
 // checkDir parses one package directory and returns a "file:line:
