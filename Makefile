@@ -18,25 +18,36 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build test vet race bench bench-metrics bench-runner bench-core bench-obs alloc-budget docs diff fuzz scenarios server-check
+.PHONY: check build test vet race bench bench-metrics bench-runner bench-core bench-obs alloc-budget docs diff fuzz scenarios cachebench server-check
 
-check: vet build race alloc-budget diff scenarios docs bench-obs server-check
+check: vet build race alloc-budget diff scenarios cachebench docs bench-obs server-check
 
 # Experiment-server gate: build cmd/vpserver, then run the end-to-end
 # suite against an in-process instance — submit→poll→fetch, cache-hit
 # byte identity, singleflight, admission control, drain — plus the
-# VPSERVER_FULL-gated acceptance run: the full 65-entry registry
-# batched cold and re-batched hot (all cache hits). See docs/SERVER.md.
+# VPSERVER_FULL-gated acceptance runs: the full registry (including
+# the 978 cachebench entries) batched cold and re-batched hot (all
+# cache hits). See docs/SERVER.md.
 server-check:
 	$(GO) build -o /dev/null ./cmd/vpserver
 	VPSERVER_FULL=1 $(GO) test ./internal/server -count=1
 
 # Scenario registry gate: every registered spec validates, round-trips
 # through JSON byte-for-byte, matches the committed golden registry
-# (testdata/registry.json; -update moves it deliberately), and
-# executes (see internal/scenario).
+# (testdata/registry.json; -update moves it deliberately), hashes
+# stably across its own serialization, and executes byte-identically
+# at every -jobs level (see internal/scenario).
 scenarios:
-	$(GO) test ./internal/scenario -run 'TestRegistryGolden|TestRoundTrip|TestRegistryCoverage|TestRegisteredScenariosExecute' -count=1
+	$(GO) test ./internal/scenario -run 'TestRegistryGolden|TestRoundTrip|TestRegistryCoverage|TestRegisteredScenariosExecute|TestRegistryHashRoundTrip|TestRegistryExecuteJobsInvariance' -count=1
+
+# Cache-vulnerability benchmark gate: the three-step taxonomy package
+# (enumeration, lowering, statistics) plus the golden-pinned
+# `vpreport -scenario cachebench-matrix` artifact. The shrunk curated
+# matrix runs always; CACHEBENCH_FULL=1 additionally evaluates all 976
+# enumerated cases at the paper's sample size.
+cachebench:
+	$(GO) test ./internal/cachebench -count=1
+	$(GO) test ./internal/scenario -run 'TestCacheMatrixGolden|TestCacheMatrixHashJobsInvariant' -count=1
 
 # Steady-state allocation budget of the simulator hot loop
 # (DESIGN.md §10). Runs without -race: the race detector instruments
@@ -107,4 +118,4 @@ bench-obs:
 # internal/server actually registers.
 docs: vet
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -l:"; echo "$$out"; exit 1; fi
-	$(GO) run ./tools/doccheck -api docs/SERVER.md:internal/server ./internal/runner ./internal/attacks ./internal/report ./internal/oracle ./internal/progen ./internal/scenario ./internal/obs ./internal/server
+	$(GO) run ./tools/doccheck -api docs/SERVER.md:internal/server ./internal/runner ./internal/attacks ./internal/report ./internal/oracle ./internal/progen ./internal/scenario ./internal/obs ./internal/server ./internal/cachebench

@@ -1,0 +1,88 @@
+// Text renderers for benchmark results: one per-case report in the
+// style of the attack-case renderer, and the vulnerability-matrix
+// table the golden test gates. Both are pure functions of their
+// deterministic inputs — no timestamps, no maps, no float spellings
+// that vary across runs.
+
+package cachebench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"vpsec/internal/stats"
+)
+
+// RenderCase writes the single-case report.
+func RenderCase(w io.Writer, c CaseResult) {
+	fmt.Fprintf(w, "pattern   : %s\n", c.Pattern)
+	fmt.Fprintf(w, "model     : %s\n", c.Paper)
+	if c.Attack != "" {
+		fmt.Fprintf(w, "attack    : %s\n", c.Attack)
+	}
+	fmt.Fprintf(w, "mapped    : %.1f ± %.1f cycles (%d runs)\n", c.Mapped.Mean, c.Mapped.StdDev(), c.Mapped.N)
+	fmt.Fprintf(w, "unmapped  : %.1f ± %.1f cycles (%d runs)\n", c.Unmapped.Mean, c.Unmapped.StdDev(), c.Unmapped.N)
+	if c.T.Degenerate != "" {
+		fmt.Fprintf(w, "welch     : p=%.4f (degenerate: %s)\n", c.P, c.T.Degenerate)
+	} else {
+		fmt.Fprintf(w, "welch     : t=%.2f p=%.4f\n", c.T.T, c.P)
+	}
+	fmt.Fprintf(w, "mann-whit : p=%.4f\n", c.MWp)
+	fmt.Fprintf(w, "effect    : Cohen's d = %s\n", renderD(c.CohenD))
+	fmt.Fprintf(w, "verdict   : %s\n", verdict(c))
+}
+
+// renderD spells the effect size, keeping the zero-variance sentinel
+// readable instead of printing the float spelling of stats.TMax.
+func renderD(d float64) string {
+	if math.Abs(d) >= stats.TMax {
+		if d < 0 {
+			return "-inf (zero variance)"
+		}
+		return "+inf (zero variance)"
+	}
+	return fmt.Sprintf("%.2f", d)
+}
+
+// verdict spells the two-test decision.
+func verdict(c CaseResult) string {
+	if c.Vulnerable {
+		return "VULNERABLE (p < 0.05 on both tests)"
+	}
+	return "not vulnerable"
+}
+
+// RenderMatrix writes the vulnerability-matrix report: the header, one
+// row per case with both p-values and the effect size, the vulnerable
+// tally, and the model-limitation footnotes.
+func RenderMatrix(w io.Writer, m *MatrixResult) {
+	fmt.Fprintf(w, "Cache vulnerability matrix (three-step model, Deng/Xiong/Szefer)\n")
+	fmt.Fprintf(w, "%d cases, %d runs per arm, seed %d; VULNERABLE = p < %.2f on Welch AND Mann-Whitney\n\n",
+		m.Total, m.Runs, m.Seed, SignificanceLevel)
+	fmt.Fprintf(w, "%-32s %9s %9s %9s  %s\n", "pattern", "welch p", "mw p", "|d|", "verdict")
+	for _, c := range m.Cases {
+		v := "-"
+		if c.Vulnerable {
+			v = "VULNERABLE"
+		}
+		if c.Attack != "" {
+			v += "  [" + c.Attack + "]"
+		}
+		fmt.Fprintf(w, "%-32s %9.4f %9.4f %9s  %s\n", c.Pattern, c.P, c.MWp, renderAbsD(c.CohenD), v)
+	}
+	fmt.Fprintf(w, "\nvulnerable: %d/%d\n", m.Vulnerable, m.Total)
+	fmt.Fprintf(w, "\nmodel footnotes:\n")
+	for i, f := range m.Footnotes {
+		fmt.Fprintf(w, " [%d] %s\n", i+1, f)
+	}
+}
+
+// renderAbsD spells |Cohen's d| for the matrix column.
+func renderAbsD(d float64) string {
+	a := math.Abs(d)
+	if a >= stats.TMax {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", a)
+}

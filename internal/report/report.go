@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"vpsec/internal/attacks"
+	"vpsec/internal/cachebench"
 	"vpsec/internal/core"
 	"vpsec/internal/defense"
 	"vpsec/internal/locality"
@@ -102,6 +103,18 @@ type AuditRow struct {
 	Rate   float64 `json:"rate"`
 }
 
+// CacheCell is one cache-vulnerability benchmark case (see
+// internal/cachebench): a three-step pattern with both decision
+// p-values, the effect size, and the verdict.
+type CacheCell struct {
+	Pattern    string  `json:"pattern"`
+	Attack     string  `json:"attack,omitempty"`
+	P          float64 `json:"p_value"`
+	MWp        float64 `json:"mw_p_value"`
+	AbsD       float64 `json:"abs_cohen_d"`
+	Vulnerable bool    `json:"vulnerable"`
+}
+
 // PerfResult is the value-prediction speedup measurement.
 type PerfResult struct {
 	Kernel  string  `json:"kernel"`
@@ -128,6 +141,13 @@ type Report struct {
 	MinWindowTestHit   int                  `json:"min_window_test_hit,omitempty"`
 	DefenseMatrix      []defense.MatrixCell `json:"defense_matrix,omitempty"`
 	CombinedDefends    bool                 `json:"combined_defends_all"`
+
+	// CacheMatrix is the curated cache-vulnerability benchmark matrix
+	// (the "cachebench-matrix" scenario); CacheFootnotes carries the
+	// cache-model limitations its verdicts must be read under.
+	CacheMatrix     []CacheCell `json:"cache_vulnerability_matrix,omitempty"`
+	CacheVulnerable int         `json:"cache_vulnerable,omitempty"`
+	CacheFootnotes  []string    `json:"cache_footnotes,omitempty"`
 
 	RSA  RSAResult    `json:"rsa"`
 	Perf []PerfResult `json:"performance"`
@@ -308,6 +328,31 @@ func Generate(cfg Config, now time.Time) (*Report, error) {
 		}
 	}
 
+	// Cache-vulnerability benchmark matrix (skipped in Quick mode, like
+	// the other wide sections): the curated pattern set of the
+	// "cachebench-matrix" scenario — every published attack plus the
+	// expected-safe controls.
+	if !cfg.Quick {
+		cb := cfg.spec(scenario.KindCacheMatrix)
+		cb.Patterns = cachebench.ShrunkPatterns()
+		res, err := execute(cb)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range res.CacheBench.Cases {
+			absd := c.CohenD
+			if absd < 0 {
+				absd = -absd
+			}
+			r.CacheMatrix = append(r.CacheMatrix, CacheCell{
+				Pattern: c.Pattern, Attack: c.Attack,
+				P: c.P, MWp: c.MWp, AbsD: absd, Vulnerable: c.Vulnerable,
+			})
+		}
+		r.CacheVulnerable = res.CacheBench.Vulnerable
+		r.CacheFootnotes = res.CacheBench.Footnotes
+	}
+
 	// RSA key recovery.
 	rsaCfg := rsa.VictimConfig{
 		Base:     0x1234567,
@@ -433,6 +478,26 @@ func (r *Report) Markdown() string {
 		fmt.Fprintf(&b, "\n## Ablations\n\n| experiment | p | effective | success |\n|---|---|---|---|\n")
 		for _, c := range r.Ablations {
 			fmt.Fprintf(&b, "| %s | %.4f | %v | %.2f |\n", c.Category, c.P, c.Effective, c.Success)
+		}
+	}
+
+	if len(r.CacheMatrix) > 0 {
+		fmt.Fprintf(&b, "\n## Cache vulnerability matrix (three-step model)\n\n")
+		fmt.Fprintf(&b, "%d of %d benchmark cases vulnerable (Welch AND Mann-Whitney p < 0.05). Full family: `vpattack -scenario cachebench-matrix-full`.\n\n",
+			r.CacheVulnerable, len(r.CacheMatrix))
+		fmt.Fprintf(&b, "| pattern | attack | welch p | mw p | abs d | vulnerable |\n|---|---|---|---|---|---|\n")
+		for _, c := range r.CacheMatrix {
+			att := c.Attack
+			if att == "" {
+				att = "—"
+			}
+			fmt.Fprintf(&b, "| `%s` | %s | %.4f | %.4f | %.2f | %v |\n", c.Pattern, att, c.P, c.MWp, c.AbsD, c.Vulnerable)
+		}
+		if len(r.CacheFootnotes) > 0 {
+			fmt.Fprintf(&b, "\nModel footnotes:\n\n")
+			for _, f := range r.CacheFootnotes {
+				fmt.Fprintf(&b, "- %s\n", f)
+			}
 		}
 	}
 

@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCacheMatrixGolden is the acceptance gate for the cachebench
+// family headline: `vpreport -scenario cachebench-matrix` must emit a
+// deterministic vulnerability matrix, byte-identical across -jobs
+// values and pinned in a golden file so a drift in the taxonomy, the
+// hierarchy model, or the statistics shows up as a reviewable diff.
+func TestCacheMatrixGolden(t *testing.T) {
+	s, ok := Lookup("cachebench-matrix")
+	if !ok {
+		t.Fatal("cachebench-matrix not registered")
+	}
+
+	render := func(jobs int) []byte {
+		spec := s
+		spec.Jobs = jobs
+		res, err := Execute(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		var b bytes.Buffer
+		if err := res.Render(&b, RenderOptions{}); err != nil {
+			t.Fatalf("jobs=%d render: %v", jobs, err)
+		}
+		return b.Bytes()
+	}
+
+	seq := render(1)
+	par := render(4)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("cachebench-matrix render differs between -jobs 1 and -jobs 4:\n--- jobs 1 ---\n%s\n--- jobs 4 ---\n%s", seq, par)
+	}
+
+	golden := filepath.Join("testdata", "cachebench-matrix.golden")
+	if *update {
+		if err := os.WriteFile(golden, seq, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/scenario -update` to regenerate)", err)
+	}
+	if !bytes.Equal(want, seq) {
+		t.Fatalf("cachebench-matrix drifted from %s (run `go test ./internal/scenario -update` and review the diff):\n%s", golden, seq)
+	}
+}
+
+// TestCacheMatrixHashJobsInvariant: Jobs is infrastructure, not part
+// of the experiment identity — the server cache must hit the same
+// entry regardless of the client's concurrency.
+func TestCacheMatrixHashJobsInvariant(t *testing.T) {
+	s, ok := Lookup("cachebench-matrix")
+	if !ok {
+		t.Fatal("cachebench-matrix not registered")
+	}
+	base := s.Hash()
+	if base == "" {
+		t.Fatal("empty hash")
+	}
+	withJobs := s
+	withJobs.Jobs = 4
+	if withJobs.Hash() != base {
+		t.Fatal("Jobs changed the spec hash")
+	}
+}

@@ -42,6 +42,24 @@ func (s Spec) Canonical() Spec {
 	c.Jobs = 0
 	c.Metrics, c.Trace = nil, nil
 
+	if c.Kind == KindCacheBench || c.Kind == KindCacheMatrix {
+		// A benchmark spec is (pattern[s], runs, seed, mem_jitter); the
+		// predictor/attack/sim knobs are all ignored by executeCacheBench.
+		if c.Runs == 0 {
+			c.Runs = 100
+		}
+		c.Predictor, c.Channel, c.Category, c.Variant = "", "", "", ""
+		c.Categories = nil
+		c.Confidence = 0
+		c.Defense = nil
+		c.UsePID, c.Prefetch, c.Replay, c.ResetModify = false, false, false, false
+		c.FPC, c.TrainIters, c.NoSyncCost = 0, 0, false
+		c.Jitters, c.Confidences = nil, nil
+		c.MaxWindow, c.Strategies = 0, nil
+		c.Program, c.Scheme = "", ""
+		return c
+	}
+
 	if c.Predictor == "" {
 		c.Predictor = string(attacks.LVP)
 	}
@@ -63,11 +81,13 @@ func (s Spec) Canonical() Spec {
 		c.FPC, c.TrainIters, c.NoSyncCost = 0, 0, false
 		c.MemJitter, c.Jitters, c.Confidences = nil, nil, nil
 		c.MaxWindow, c.Strategies = 0, nil
+		c.Pattern, c.Patterns = "", nil
 		return c
 	}
 
-	// The attack kinds: sim-only fields are ignored.
+	// The attack kinds: sim-only and benchmark-only fields are ignored.
 	c.Program, c.Scheme = "", ""
+	c.Pattern, c.Patterns = "", nil
 
 	// attacks.Options documented defaults (Options.WithDefaults).
 	if c.Confidence == 0 {
@@ -183,11 +203,13 @@ func (r *Result) CanonicalJSON() ([]byte, error) {
 }
 
 // sanitizeFloats rewrites non-finite float64s in v to JSON-encodable
-// values: ±Inf clamps to ±math.MaxFloat64, NaN becomes 0. Degenerate
-// cells produce infinities legitimately — a zero-variance Welch t-test
-// on constant samples with different means is t = ±Inf (perfect
-// separation) — but JSON has no encoding for them, so the serialized
-// form carries the clamp instead. Slices are copied before rewriting
+// values: ±Inf clamps to ±math.MaxFloat64, NaN becomes 0. The one
+// known legitimate source of infinities — the zero-variance Welch
+// t-test — now reports the finite ±stats.TMax sentinel at the source
+// (the same bytes this clamp used to produce), so this pass is a
+// safety net for any ratio or derived statistic that still overflows;
+// JSON has no encoding for non-finite values, and a result must always
+// serialize. Slices are copied before rewriting
 // (CanonicalJSON works on a shallow copy whose slices are shared with
 // the caller's Result); struct fields marked json:"-" (registry and
 // tracer pointers) are never entered.

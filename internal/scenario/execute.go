@@ -8,6 +8,7 @@ import (
 
 	"vpsec/internal/asm"
 	"vpsec/internal/attacks"
+	"vpsec/internal/cachebench"
 	"vpsec/internal/core"
 	"vpsec/internal/cpu"
 	"vpsec/internal/defense"
@@ -54,6 +55,9 @@ type Result struct {
 	MatrixAllDefended bool
 	// Sim holds the KindSim execution.
 	Sim *SimResult
+	// CacheBench holds the KindCacheBench case or KindCacheMatrix
+	// matrix (a single-case kind produces a one-cell matrix).
+	CacheBench *cachebench.MatrixResult
 }
 
 // Case returns the single case result of a one-case kind.
@@ -85,6 +89,9 @@ func Execute(ctx context.Context, s Spec) (*Result, error) {
 	}
 	if s.Kind == KindSim {
 		return executeSim(s)
+	}
+	if s.Kind == KindCacheBench || s.Kind == KindCacheMatrix {
+		return executeCacheBench(ctx, s)
 	}
 	opt, err := s.options()
 	if err != nil {
@@ -232,6 +239,56 @@ func Execute(ctx context.Context, s Spec) (*Result, error) {
 		return nil, fmt.Errorf("scenario: kind %q has no executor", s.Kind)
 	}
 	return res, nil
+}
+
+// executeCacheBench dispatches the benchmark kinds: one case or a
+// pattern-list matrix. Both produce a MatrixResult (a case is a
+// one-cell matrix), so the renderers and report path are shared. The
+// spec's MemJitter override maps to the benchmark noise model exactly
+// as it does for the attack kinds.
+func executeCacheBench(ctx context.Context, s Spec) (*Result, error) {
+	opt := cachebench.Options{
+		Runs:    s.Runs,
+		Seed:    s.Seed,
+		Jobs:    s.Jobs,
+		Metrics: s.Metrics,
+		Trace:   s.Trace,
+	}
+	if s.MemJitter != nil {
+		opt.Noise = cpu.Noise{MemJitter: *s.MemJitter, HitJitter: 2}
+	}
+	if s.Kind == KindCacheBench {
+		p, err := cachebench.ParsePattern(s.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		c, err := cachebench.RunCase(ctx, p, opt)
+		if err != nil {
+			return nil, err
+		}
+		m := &cachebench.MatrixResult{
+			Runs: c.Runs, Seed: c.Seed, Total: 1,
+			Cases:     []cachebench.CaseResult{c},
+			Footnotes: cachebench.Limitations(),
+		}
+		if c.Vulnerable {
+			m.Vulnerable = 1
+		}
+		return &Result{Spec: s, CacheBench: m}, nil
+	}
+	var pats []cachebench.Pattern
+	for _, ps := range s.Patterns {
+		p, err := cachebench.ParsePattern(ps)
+		if err != nil {
+			return nil, err
+		}
+		pats = append(pats, p)
+	}
+	m, err := cachebench.RunMatrix(ctx, pats, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Spec: s, CacheBench: m}, nil
 }
 
 // executeSim assembles and runs the spec's .vasm program, mirroring

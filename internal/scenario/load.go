@@ -98,7 +98,7 @@ func Describe(arg string) (string, error) {
 func ListText() string {
 	var b strings.Builder
 	for _, s := range All() {
-		fmt.Fprintf(&b, "%-28s %s\n", s.Name, s.Title)
+		fmt.Fprintf(&b, "%-32s %s\n", s.Name, s.Title)
 	}
 	return b.String()
 }

@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestRegistryHashRoundTrip is the registry-wide identity property:
+// for every registered scenario, the marshaled spec parses back to an
+// equal spec, Canonical is idempotent, and Hash is stable across the
+// marshal round trip. A spec whose hash drifts through its own
+// serialization would silently split the server's result cache.
+func TestRegistryHashRoundTrip(t *testing.T) {
+	for _, s := range All() {
+		data, err := s.MarshalIndent()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		back, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if got, want := back.Hash(), s.Hash(); got != want {
+			t.Errorf("%s: hash changed across marshal round trip: %s vs %s", s.Name, got, want)
+		}
+		c := s.Canonical()
+		if !reflect.DeepEqual(c.Canonical(), c) {
+			t.Errorf("%s: Canonical is not idempotent", s.Name)
+		}
+		if s.Hash() != s.Hash() {
+			t.Errorf("%s: Hash not stable across calls", s.Name)
+		}
+		// Presentation and infrastructure knobs must not participate.
+		alt := s
+		alt.Name = "renamed"
+		alt.Title = "retitled"
+		alt.Jobs = 7
+		if alt.Hash() != s.Hash() {
+			t.Errorf("%s: presentation fields leaked into the hash", s.Name)
+		}
+	}
+}
+
+// TestRegistryExecuteJobsInvariance executes a shrunken copy of every
+// registered scenario at -jobs 1 and -jobs 4 and requires the rendered
+// output to be byte-identical: concurrency is a throughput knob, never
+// an input to the experiment.
+func TestRegistryExecuteJobsInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("executes the whole registry twice")
+	}
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			small := s
+			small.Runs = 2
+			switch small.Kind {
+			case KindDefenseSweep:
+				small.MaxWindow = 1
+			case KindNoiseSweep:
+				small.Jitters = []uint64{0}
+			case KindConfSweep:
+				small.Confidences = []int{2}
+			}
+			render := func(jobs int) []byte {
+				spec := small
+				spec.Jobs = jobs
+				res, err := Execute(context.Background(), spec)
+				if err != nil {
+					t.Fatalf("jobs=%d: %v", jobs, err)
+				}
+				var b bytes.Buffer
+				if err := res.Render(&b, RenderOptions{}); err != nil {
+					t.Fatalf("jobs=%d render: %v", jobs, err)
+				}
+				return b.Bytes()
+			}
+			if seq, par := render(1), render(4); !bytes.Equal(seq, par) {
+				t.Fatalf("render differs between -jobs 1 and -jobs 4:\n--- jobs 1 ---\n%s\n--- jobs 4 ---\n%s", seq, par)
+			}
+		})
+	}
+}

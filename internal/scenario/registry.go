@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"vpsec/internal/cachebench"
 	"vpsec/internal/core"
 )
 
@@ -265,5 +266,41 @@ func init() {
 		Runs:        d.Runs,
 		Seed:        d.Seed,
 		Confidences: []int{2, 3, 4, 6, 8},
+	})
+
+	// The cache-vulnerability benchmark family (internal/cachebench):
+	// one case scenario per enumerated three-step pattern, plus the two
+	// matrix scenarios. "cachebench-matrix" is the curated headline
+	// matrix (every published attack plus expected-safe controls; the
+	// golden-gated `vpreport -scenario cachebench-matrix` artifact);
+	// "cachebench-matrix-full" evaluates the whole enumerated family.
+	for _, p := range cachebench.Family() {
+		title := "Cache vulnerability case " + p.Paper()
+		if a := p.Attack(); a != "" {
+			title += " — " + a
+		}
+		Register(Spec{
+			Name:    "cachebench-" + p.String(),
+			Title:   title,
+			Kind:    KindCacheBench,
+			Pattern: p.String(),
+			Runs:    d.Runs,
+			Seed:    d.Seed,
+		})
+	}
+	Register(Spec{
+		Name:     "cachebench-matrix",
+		Title:    "Cache vulnerability matrix: published attacks + safe controls (three-step model)",
+		Kind:     KindCacheMatrix,
+		Patterns: cachebench.ShrunkPatterns(),
+		Runs:     d.Runs,
+		Seed:     d.Seed,
+	})
+	Register(Spec{
+		Name:  "cachebench-matrix-full",
+		Title: "Cache vulnerability matrix: the full enumerated three-step family",
+		Kind:  KindCacheMatrix,
+		Runs:  d.Runs,
+		Seed:  d.Seed,
 	})
 }

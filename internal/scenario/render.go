@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"vpsec/internal/attacks"
+	"vpsec/internal/cachebench"
 	"vpsec/internal/core"
 	"vpsec/internal/stats"
 )
@@ -83,6 +84,16 @@ func (r *Result) Render(w io.Writer, opts RenderOptions) error {
 		} else {
 			fmt.Fprintln(w, "WARNING: combined A+R+D left an attack effective.")
 		}
+	case KindCacheBench:
+		if r.CacheBench == nil || len(r.CacheBench.Cases) == 0 {
+			return fmt.Errorf("scenario: cachebench result has no case")
+		}
+		cachebench.RenderCase(w, r.CacheBench.Cases[0])
+	case KindCacheMatrix:
+		if r.CacheBench == nil {
+			return fmt.Errorf("scenario: cachebench-matrix result has no matrix")
+		}
+		cachebench.RenderMatrix(w, r.CacheBench)
 	case KindSim:
 		s := r.Sim
 		fmt.Fprintf(w, "program   : %s (%d instructions)\n", s.Program, s.Instructions)

@@ -26,6 +26,7 @@ import (
 	"runtime"
 
 	"vpsec/internal/attacks"
+	"vpsec/internal/cachebench"
 	"vpsec/internal/core"
 	"vpsec/internal/cpu"
 	"vpsec/internal/defense"
@@ -69,13 +70,20 @@ const (
 	// KindSim runs a .vasm program on the simulator (cmd/vpsim's job,
 	// as a serializable payload).
 	KindSim Kind = "sim"
+	// KindCacheBench evaluates one three-step cache-vulnerability case
+	// via cachebench.RunCase (see internal/cachebench).
+	KindCacheBench Kind = "cachebench"
+	// KindCacheMatrix evaluates a cachebench pattern list (empty: the
+	// whole family) into the vulnerability-matrix report via
+	// cachebench.RunMatrix.
+	KindCacheMatrix Kind = "cachebench-matrix"
 )
 
 // Kinds lists every scenario kind in a stable order.
 func Kinds() []Kind {
 	return []Kind{KindCase, KindVariant, KindEviction, KindSMT, KindTableIII,
 		KindFigure, KindNoiseSweep, KindConfSweep, KindDefenseSweep,
-		KindDefenseMatrix, KindSim}
+		KindDefenseMatrix, KindSim, KindCacheBench, KindCacheMatrix}
 }
 
 // DefenseSpec selects the Sec. VI defenses, either by the named
@@ -198,6 +206,13 @@ type Spec struct {
 	// Scheme is the KindSim predictor index: pc (default), addr, or
 	// phys.
 	Scheme string `json:"scheme,omitempty"`
+
+	// Pattern is the KindCacheBench case, in canonical
+	// <s1>-<s2>-<s3>-<line|set> spelling (cachebench.ParsePattern).
+	Pattern string `json:"pattern,omitempty"`
+	// Patterns restricts a KindCacheMatrix to the listed cases; empty
+	// evaluates the whole enumerated family.
+	Patterns []string `json:"patterns,omitempty"`
 
 	// Metrics, when non-nil, receives every trial's counters exactly as
 	// the legacy flag paths wired it. Excluded from JSON: a registry is
@@ -338,6 +353,35 @@ func (s *Spec) Validate() error {
 		}
 		if s.Confidence < 0 {
 			return fmt.Errorf("scenario: negative confidence")
+		}
+		return nil
+	}
+
+	if s.Kind == KindCacheBench || s.Kind == KindCacheMatrix {
+		// The benchmark kinds carry only (pattern[s], runs, seed, jobs,
+		// mem_jitter); the attack-harness knobs do not apply.
+		if s.Runs < 0 {
+			return fmt.Errorf("scenario: negative runs")
+		}
+		if s.Kind == KindCacheBench {
+			if s.Pattern == "" {
+				return fmt.Errorf("scenario: cachebench spec needs a pattern")
+			}
+			if _, err := cachebench.ParsePattern(s.Pattern); err != nil {
+				return err
+			}
+			if len(s.Patterns) > 0 {
+				return fmt.Errorf("scenario: cachebench spec takes pattern, not patterns")
+			}
+			return nil
+		}
+		if s.Pattern != "" {
+			return fmt.Errorf("scenario: cachebench-matrix spec takes patterns, not pattern")
+		}
+		for _, ps := range s.Patterns {
+			if _, err := cachebench.ParsePattern(ps); err != nil {
+				return err
+			}
 		}
 		return nil
 	}

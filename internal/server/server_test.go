@@ -172,7 +172,7 @@ func TestCacheHitByteIdentical(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 2})
 	c := ts.Client()
 
-	for _, name := range []string{"train-test-timing-lvp", "eviction-train-test", "table2-row02-train-test"} {
+	for _, name := range []string{"train-test-timing-lvp", "eviction-train-test", "table2-row02-train-test", "cachebench-matrix"} {
 		if _, ok := scenario.Lookup(name); !ok {
 			t.Fatalf("registry scenario %q missing", name)
 		}
@@ -207,8 +207,8 @@ func TestCacheHitByteIdentical(t *testing.T) {
 		}
 	}
 
-	if hits := s.reg.Counter(metricCacheHits, "").Value(); hits != 3 {
-		t.Errorf("cache hits counter = %d, want 3", hits)
+	if hits := s.reg.Counter(metricCacheHits, "").Value(); hits != 4 {
+		t.Errorf("cache hits counter = %d, want 4", hits)
 	}
 }
 
@@ -523,8 +523,9 @@ func shrunkRegistry(t *testing.T) []json.RawMessage {
 // counts) through POST /v1/batch and polls the batch to completion,
 // checking per-job progress arrives.
 func TestBatchShrunkRegistry(t *testing.T) {
-	// The registry is 65 entries — past the default per-client cap.
-	_, ts := newTestServer(t, Config{Workers: 4, ClientInFlight: 128})
+	// The registry is 1000+ entries (the cachebench family alone is
+	// 976) — far past the default queue and per-client caps.
+	_, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 2048, ClientInFlight: 2048})
 	c := ts.Client()
 
 	var bv BatchView
@@ -562,15 +563,16 @@ func TestBatchShrunkRegistry(t *testing.T) {
 	}
 }
 
-// TestBatchFullRegistry is the acceptance run: the full 65-entry
-// registry at paper defaults, batched once cold and once hot. It runs
-// only under VPSERVER_FULL=1 (make server-check) — roughly 15s of
-// simulation on one core.
+// TestBatchFullRegistry is the acceptance run: the full registry at
+// paper defaults, batched once cold and once hot. It runs only under
+// VPSERVER_FULL=1 (make server-check) — the 65 attack scenarios cost
+// roughly 15s of simulation on one core, and the 978 cachebench
+// entries a few seconds more.
 func TestBatchFullRegistry(t *testing.T) {
 	if os.Getenv("VPSERVER_FULL") == "" {
 		t.Skip("set VPSERVER_FULL=1 (make server-check) to run the full registry batch")
 	}
-	s, ts := newTestServer(t, Config{Workers: 2, ClientInFlight: 128})
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 2048, ClientInFlight: 2048})
 	c := ts.Client()
 
 	names := scenario.Names()
@@ -606,7 +608,7 @@ func TestBatchFullRegistry(t *testing.T) {
 		t.Error("no per-job progress observed while the batch ran")
 	}
 
-	// The hot pass: the same batch again, all 65 served from cache.
+	// The hot pass: the same batch again, every entry served from cache.
 	var hot BatchView
 	status := post(t, c, ts.URL+"/v1/batch", map[string]any{"scenarios": names}, &hot)
 	if status != http.StatusOK {
@@ -622,6 +624,87 @@ func TestBatchFullRegistry(t *testing.T) {
 	}
 	if hits := s.reg.Counter(metricCacheHits, "").Value(); hits != uint64(len(names)) {
 		t.Errorf("cache hits = %d, want %d", hits, len(names))
+	}
+}
+
+// TestBatchCacheBenchFamily batches the whole cachebench scenario
+// family (every enumerated three-step case plus the two matrices)
+// cold and then hot, asserting the hot pass is answered 100% from the
+// cache with byte-identical stored results. Gated with the other
+// full-registry acceptance run: set VPSERVER_FULL=1 (make server-check).
+func TestBatchCacheBenchFamily(t *testing.T) {
+	if os.Getenv("VPSERVER_FULL") == "" {
+		t.Skip("set VPSERVER_FULL=1 (make server-check) to batch the full cachebench family")
+	}
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 2048, ClientInFlight: 2048})
+	c := ts.Client()
+
+	var names []string
+	for _, n := range scenario.Names() {
+		if strings.HasPrefix(n, "cachebench-") {
+			names = append(names, n)
+		}
+	}
+	if len(names) != 976+2 {
+		t.Fatalf("cachebench family has %d registered scenarios, want 978", len(names))
+	}
+
+	var cold BatchView
+	post(t, c, ts.URL+"/v1/batch", map[string]any{"scenarios": names}, &cold)
+	if cold.Total != len(names) {
+		t.Fatalf("cold batch total %d, want %d", cold.Total, len(names))
+	}
+	deadline := time.Now().Add(10 * time.Minute)
+	for cold.Done+cold.Failed < cold.Total {
+		if time.Now().After(deadline) {
+			t.Fatalf("cold batch stuck at %d/%d", cold.Done+cold.Failed, cold.Total)
+		}
+		time.Sleep(100 * time.Millisecond)
+		get(t, c, ts.URL+"/v1/batch/"+cold.ID, &cold)
+	}
+	if cold.Failed != 0 {
+		for _, j := range cold.Jobs {
+			if j.State == StateFailed {
+				t.Errorf("job %s (%s): %s", j.ID, j.Scenario, j.Error)
+			}
+		}
+		t.Fatalf("%d cold cachebench jobs failed", cold.Failed)
+	}
+
+	hits0 := s.reg.Counter(metricCacheHits, "").Value()
+	var hot BatchView
+	status := post(t, c, ts.URL+"/v1/batch", map[string]any{"scenarios": names}, &hot)
+	if status != http.StatusOK {
+		t.Fatalf("hot batch: status %d (want 200, fully answered from cache)", status)
+	}
+	if hot.Done != hot.Total {
+		t.Fatalf("hot batch done %d/%d", hot.Done, hot.Total)
+	}
+	for _, j := range hot.Jobs {
+		if j.Cache != CacheHit {
+			t.Errorf("hot job %s (%s) cache=%q, want hit", j.ID, j.Scenario, j.Cache)
+		}
+	}
+	if hits := s.reg.Counter(metricCacheHits, "").Value() - hits0; hits != uint64(len(names)) {
+		t.Errorf("hot pass cache hits = %d, want %d (100%%)", hits, len(names))
+	}
+
+	// Byte identity of the stored results: the hot job ids resolve to
+	// the same bytes the cold jobs produced, pairing by scenario name.
+	coldByName := map[string]string{}
+	for _, j := range cold.Jobs {
+		coldByName[j.Scenario] = j.ID
+	}
+	for _, j := range hot.Jobs {
+		coldID, ok := coldByName[j.Scenario]
+		if !ok {
+			t.Fatalf("hot job %s has no cold counterpart", j.Scenario)
+		}
+		a := getRaw(t, c, ts.URL+"/v1/jobs/"+coldID+"/result", http.StatusOK)
+		b := getRaw(t, c, ts.URL+"/v1/jobs/"+j.ID+"/result", http.StatusOK)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: resubmitted result bytes differ from the cold run", j.Scenario)
+		}
 	}
 }
 

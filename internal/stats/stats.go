@@ -51,13 +51,33 @@ func (s Sample) StdDev() float64 { return math.Sqrt(s.Variance) }
 
 // TTestResult holds the outcome of a two-sample Welch t-test.
 type TTestResult struct {
-	T  float64 // t statistic
+	T  float64 // t statistic (|T| <= TMax; see Degenerate)
 	DF float64 // Welch–Satterthwaite degrees of freedom
 	P  float64 // two-tailed p-value
+	// Degenerate flags inputs outside the t-test's assumptions, handled
+	// by a documented convention instead of the general formula;
+	// currently only DegenerateZeroVariance. Empty for regular inputs.
+	Degenerate string `json:",omitempty"`
 }
+
+// TMax is the t statistic reported for perfectly separated
+// zero-variance samples: the largest finite float64, so every
+// TTestResult is JSON-encodable as-is. (It equals the value
+// scenario.Result.CanonicalJSON's ±Inf clamp used to produce, so
+// serialized results are unchanged.)
+const TMax = math.MaxFloat64
+
+// DegenerateZeroVariance marks a t-test whose pooled standard error was
+// zero — both samples constant. Equal constants report T=0, P=1;
+// different constants report perfect separation, T=±TMax, P=0.
+const DegenerateZeroVariance = "zero-variance"
 
 // ErrTooFewSamples is returned when a test needs more observations.
 var ErrTooFewSamples = errors.New("stats: need at least two observations per sample")
+
+// ErrNaNSample is returned when a sample contains NaN: no ordering or
+// mean is defined, so no test statistic is meaningful.
+var ErrNaNSample = errors.New("stats: sample contains NaN")
 
 // WelchTTest performs a two-sample, two-tailed Welch t-test on xs and ys.
 // This is the test used throughout the paper's evaluation to decide
@@ -68,21 +88,29 @@ func WelchTTest(xs, ys []float64) (TTestResult, error) {
 	return WelchTTestSummary(a, b)
 }
 
-// WelchTTestSummary is WelchTTest on precomputed summaries.
+// WelchTTestSummary is WelchTTest on precomputed summaries. Degenerate
+// inputs are handled at the source rather than by downstream
+// serialization clamps: NaN anywhere in a summary is ErrNaNSample, and
+// two zero-variance samples return a finite typed result (see
+// DegenerateZeroVariance) instead of an infinite t statistic.
 func WelchTTestSummary(a, b Sample) (TTestResult, error) {
 	if a.N < 2 || b.N < 2 {
 		return TTestResult{}, ErrTooFewSamples
+	}
+	if math.IsNaN(a.Mean) || math.IsNaN(b.Mean) || math.IsNaN(a.Variance) || math.IsNaN(b.Variance) {
+		return TTestResult{}, ErrNaNSample
 	}
 	va := a.Variance / float64(a.N)
 	vb := b.Variance / float64(b.N)
 	se2 := va + vb
 	if se2 == 0 {
 		// Identical constant samples: indistinguishable if the means
-		// match, trivially distinguishable otherwise.
+		// match, perfectly separated otherwise.
+		df := float64(a.N + b.N - 2)
 		if a.Mean == b.Mean {
-			return TTestResult{T: 0, DF: float64(a.N + b.N - 2), P: 1}, nil
+			return TTestResult{T: 0, DF: df, P: 1, Degenerate: DegenerateZeroVariance}, nil
 		}
-		return TTestResult{T: math.Inf(sign(a.Mean - b.Mean)), DF: float64(a.N + b.N - 2), P: 0}, nil
+		return TTestResult{T: math.Copysign(TMax, a.Mean-b.Mean), DF: df, P: 0, Degenerate: DegenerateZeroVariance}, nil
 	}
 	t := (a.Mean - b.Mean) / math.Sqrt(se2)
 	df := se2 * se2 / (va*va/float64(a.N-1) + vb*vb/float64(b.N-1))
@@ -91,13 +119,6 @@ func WelchTTestSummary(a, b Sample) (TTestResult, error) {
 		p = 1
 	}
 	return TTestResult{T: t, DF: df, P: p}, nil
-}
-
-func sign(x float64) int {
-	if x < 0 {
-		return -1
-	}
-	return 1
 }
 
 // StudentTCDFUpper returns P(T > t) for a Student t variable with df

@@ -1,6 +1,9 @@
 package stats
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -171,6 +174,86 @@ func TestWelchTTestDegenerate(t *testing.T) {
 	}
 	if res.P != 0 {
 		t.Errorf("different constants p = %v, want 0", res.P)
+	}
+}
+
+// TestWelchTTestZeroVarianceSentinel pins the typed handling of
+// degenerate inputs: zero pooled variance is reported through the
+// Degenerate field with a finite t statistic, so results serialize
+// without any downstream clamping.
+func TestWelchTTestZeroVarianceSentinel(t *testing.T) {
+	// Identical constants: no separation, certain p.
+	res, err := WelchTTest([]float64{5, 5, 5}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degenerate != DegenerateZeroVariance {
+		t.Errorf("identical constants Degenerate = %q, want %q", res.Degenerate, DegenerateZeroVariance)
+	}
+	if res.T != 0 || res.P != 1 {
+		t.Errorf("identical constants T=%v P=%v, want 0 and 1", res.T, res.P)
+	}
+
+	// Different constants: perfect separation, signed TMax.
+	res, err = WelchTTest([]float64{7, 7, 7}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degenerate != DegenerateZeroVariance {
+		t.Errorf("separated constants Degenerate = %q, want %q", res.Degenerate, DegenerateZeroVariance)
+	}
+	if res.T != TMax || res.P != 0 {
+		t.Errorf("separated constants T=%v P=%v, want TMax and 0", res.T, res.P)
+	}
+	res, err = WelchTTest([]float64{5, 5, 5}, []float64{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T != -TMax {
+		t.Errorf("reversed separation T=%v, want -TMax", res.T)
+	}
+
+	// The result is JSON-marshalable as-is: every field is finite.
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("degenerate result does not marshal: %v", err)
+	}
+	var back TTestResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != res {
+		t.Errorf("JSON round trip changed the result: %+v vs %+v", back, res)
+	}
+
+	// Regular inputs never set the sentinel, and omitempty keeps it out
+	// of their JSON encoding.
+	res, err = WelchTTest([]float64{1, 2, 3}, []float64{4, 5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degenerate != "" {
+		t.Errorf("regular inputs Degenerate = %q, want empty", res.Degenerate)
+	}
+	data, err = json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("Degenerate")) {
+		t.Errorf("regular result encodes the Degenerate field: %s", data)
+	}
+}
+
+// TestWelchTTestNaN: NaN anywhere in a sample is a typed error, not a
+// NaN statistic.
+func TestWelchTTestNaN(t *testing.T) {
+	_, err := WelchTTest([]float64{1, 2, math.NaN()}, []float64{3, 4, 5})
+	if !errors.Is(err, ErrNaNSample) {
+		t.Fatalf("NaN in a: err = %v, want ErrNaNSample", err)
+	}
+	_, err = WelchTTest([]float64{1, 2, 3}, []float64{math.NaN(), 4, 5})
+	if !errors.Is(err, ErrNaNSample) {
+		t.Fatalf("NaN in b: err = %v, want ErrNaNSample", err)
 	}
 }
 
