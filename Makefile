@@ -8,9 +8,10 @@
 # tracked sequential-vs-parallel record of the experiment runner
 # (byte-identical metrics required, >= 2x speedup on >= 4 cores);
 # `make bench-core` regenerates BENCH_core.json, the tracked record of
-# the cycle-level core's own speed (>= 2x wall-clock and >= 10x fewer
+# the cycle-level core's own speed (>= 8x wall-clock and >= 10x fewer
 # allocations per instruction vs the recorded baseline, byte-identical
-# metrics required — see DESIGN.md §10); `make bench-obs` regenerates
+# metrics required — see DESIGN.md §10); `make bench-full` asserts the
+# ROADMAP's one-core 65-scenario sweep target; `make bench-obs` regenerates
 # BENCH_obs.json, the tracked overhead record of the execution-tracing
 # layer (untraced runs within 2% of the BENCH_core speed, metrics
 # exports byte-identical with tracing on — see DESIGN.md §12).
@@ -18,9 +19,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build test vet race bench bench-metrics bench-runner bench-core bench-obs alloc-budget docs diff fuzz scenarios cachebench server-check
+.PHONY: check build test vet race bench bench-metrics bench-runner bench-core bench-obs bench-full alloc-budget sched-order docs diff fuzz scenarios cachebench server-check
 
-check: vet build race alloc-budget diff scenarios cachebench docs bench-obs server-check
+check: vet build race alloc-budget sched-order diff scenarios cachebench docs bench-obs server-check
 
 # Experiment-server gate: build cmd/vpserver, then run the end-to-end
 # suite against an in-process instance — submit→poll→fetch, cache-hit
@@ -49,11 +50,20 @@ cachebench:
 	$(GO) test ./internal/cachebench -count=1
 	$(GO) test ./internal/scenario -run 'TestCacheMatrixGolden|TestCacheMatrixHashJobsInvariant' -count=1
 
-# Steady-state allocation budget of the simulator hot loop
-# (DESIGN.md §10). Runs without -race: the race detector instruments
-# allocations and the test excludes itself under that build tag.
+# Steady-state allocation budgets of the simulator hot loop and the
+# batched trial driver (DESIGN.md §10). Runs without -race: the race
+# detector instruments allocations and the tests exclude themselves
+# under that build tag.
 alloc-budget:
 	$(GO) test ./internal/cpu -run TestMachineRunSteadyStateAllocs -count=1
+	$(GO) test ./internal/attacks -run TestBatchedTrialDisabledPathAllocs -count=1
+
+# Bitmap-scheduler ordering gate: within a cycle, issue must stay
+# strictly oldest-first (the contract the old seq-sorted ready list
+# enforced by construction), with scoreboard⟺entry invariant
+# cross-checks on, over a hazard-biased progen corpus.
+sched-order:
+	$(GO) test ./internal/cpu -run TestIssueOrderOldestFirst -count=1
 
 # Differential oracle: every generated program must commit the same
 # state in the same order as the in-order reference model, on every
@@ -96,10 +106,20 @@ bench-runner:
 
 # Re-measure the cycle-level core on the Fig. 5 Train+Test sweep and
 # compare against the recorded baseline in BENCH_core.json (fails
-# below the speedup/allocation budgets or on any metrics-export
-# difference). `go run ./tools/benchcore -rebase` moves the baseline.
+# below the speedup/allocation budgets — >= 8x wall-clock and >= 10x
+# fewer allocations since the bitmap-scoreboard rework — or on any
+# metrics-export difference; the batched-vs-per-trial setup column is
+# re-measured alongside). `go run ./tools/benchcore -rebase` moves the
+# baseline.
 bench-core:
 	$(GO) run ./tools/benchcore -o BENCH_core.json
+
+# The ROADMAP's standing one-core target as an executable gate: the
+# full 65-scenario registry sweep (cachebench families excluded) at
+# paper-default sample size must finish in single-digit seconds on a
+# single core. Heavyweight, so gated behind VPBENCH_FULL.
+bench-full:
+	VPBENCH_FULL=1 $(GO) test ./internal/scenario -run TestRegistrySweepWallClock -count=1 -v
 
 # Measure the tracing layer's overhead on the same sweep: the untraced
 # (nil-tracer) path must stay within 2% of the BENCH_core wall clock,

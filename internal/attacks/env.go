@@ -24,6 +24,7 @@ import (
 	"vpsec/internal/metrics"
 	"vpsec/internal/obs"
 	"vpsec/internal/predictor"
+	"vpsec/internal/xrand"
 )
 
 // PredictorKind selects the VPS implementation under attack.
@@ -132,6 +133,15 @@ type Options struct {
 	NoSyncCost bool
 
 	Noise cpu.Noise // zero value means the default jitter
+
+	// PerTrialSetup disables the batched sequential driver: at Jobs ==
+	// 1 runCaseTrials normally holds one trial state (machine, RNG,
+	// predictor table) for the whole case and recycles it through every
+	// trial; with PerTrialSetup each trial goes through the shared
+	// sync.Pool instead, exactly like the parallel path. Results are
+	// byte-identical either way — this is tools/benchcore's comparison
+	// knob, excluded from JSON because it cannot change any result.
+	PerTrialSetup bool `json:"-"`
 
 	// Metrics, when non-nil, receives every trial machine's pipeline,
 	// memory and predictor counters plus the per-trial observation
@@ -282,6 +292,13 @@ type trialState struct {
 	lvp *predictor.LVP
 	env env
 	opt Options
+
+	// kmemo/pmemo front the global kernelCache/probeCache with per-state
+	// linear memos (see kernelImage/probeImage): the same few compiled
+	// images recur for every trial this state serves, and images are
+	// immutable, so stale entries are harmless and never invalidated.
+	kmemo []kernelMemo
+	pmemo []probeMemo
 }
 
 var trialPool sync.Pool
@@ -299,12 +316,27 @@ func (e *env) release() {
 }
 
 func newEnv(opt *Options, seed int64) (*env, error) {
-	ts, _ := trialPool.Get().(*trialState)
+	return newEnvWith(opt, seed, nil)
+}
+
+// newEnvWith is newEnv with an optional held trial state: the batched
+// sequential driver (runCaseTrials at Jobs == 1) passes the state back
+// in for every trial of a case, guaranteeing one machine is recycled
+// through all of them without a sync.Pool round trip per trial. held
+// == nil is the ordinary pooled path.
+func newEnvWith(opt *Options, seed int64, held *trialState) (*env, error) {
+	ts := held
 	if ts == nil {
-		ts = &trialState{rng: rand.New(rand.NewSource(seed))}
+		ts, _ = trialPool.Get().(*trialState)
+	}
+	if ts == nil {
+		ts = &trialState{rng: rand.New(xrand.NewSource(seed))}
 	} else {
-		// Rand.Seed re-arms the pooled source to exactly the stream a
-		// fresh rand.New(rand.NewSource(seed)) would produce.
+		// Rand.Seed re-arms the pooled xrand source to exactly the
+		// stream a fresh rand.New(rand.NewSource(seed)) would produce —
+		// a memo-cache state copy when the source has seen this seed
+		// before (the common case: trial seeds are a pure function of
+		// (base seed, index) and recur across cases).
 		ts.rng.Seed(seed)
 	}
 	rng := ts.rng

@@ -120,18 +120,19 @@ type kernelKey struct {
 	p        kernelParams
 }
 
-// kernelCache memoizes built kernel programs. Builds are deterministic
-// in kernelParams and programs are immutable once built (the pipeline
-// and NewProcess only read them), so trials — including parallel ones
-// on different goroutines — can share one build instead of re-emitting
-// the same ~30 instructions every trial, which used to be a top
-// allocation site of the whole experiment sweep.
-var kernelCache sync.Map // kernelKey -> *isa.Program
+// kernelCache memoizes *compiled* kernel images. Builds are
+// deterministic in kernelParams and images are immutable once compiled
+// (the pipeline and InitProcessImage only read them), so trials —
+// including parallel ones on different goroutines — share one build
+// AND one validation: installing a cached image per trial is a plain
+// data-copy loop, with the per-trial Validate pass and Data map walk
+// paid once per distinct kernel instead of once per kernel run.
+var kernelCache sync.Map // kernelKey -> *isa.Image
 
-func buildKernelCached(volatile bool, p kernelParams) (*isa.Program, error) {
+func buildKernelCached(volatile bool, p kernelParams) (*isa.Image, error) {
 	key := kernelKey{volatile: volatile, p: p}
 	if v, ok := kernelCache.Load(key); ok {
-		return v.(*isa.Program), nil
+		return v.(*isa.Image), nil
 	}
 	build := buildKernel
 	if volatile {
@@ -141,8 +142,75 @@ func buildKernelCached(volatile bool, p kernelParams) (*isa.Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	v, _ := kernelCache.LoadOrStore(key, prog)
-	return v.(*isa.Program), nil
+	img, err := isa.Compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := kernelCache.LoadOrStore(key, img)
+	return v.(*isa.Image), nil
+}
+
+// memoCap bounds the per-trial-state image memos; past it lookups fall
+// through to the global sync.Maps (which stay correct, just slower).
+const memoCap = 32
+
+// kernelMemo is one entry of trialState.kmemo — see kernelImage.
+type kernelMemo struct {
+	volatile bool
+	p        kernelParams
+	img      *isa.Image
+}
+
+// probeMemo is one entry of trialState.pmemo — see probeImage.
+type probeMemo struct {
+	addr uint64
+	img  *isa.Image
+}
+
+// kernelImage resolves a kernel's compiled image through the env's
+// trial-state memo. A case reuses the same handful of kernels for every
+// trial, so after the first trial the lookup is a short linear scan
+// over comparable structs instead of a sync.Map hit, which boxes and
+// hashes the composite key on every call.
+func (e *env) kernelImage(volatile bool, p kernelParams) (*isa.Image, error) {
+	ts := e.ts
+	if ts != nil {
+		for i := range ts.kmemo {
+			m := &ts.kmemo[i]
+			if m.volatile == volatile && m.p == p {
+				return m.img, nil
+			}
+		}
+	}
+	img, err := buildKernelCached(volatile, p)
+	if err != nil {
+		return nil, err
+	}
+	if ts != nil && len(ts.kmemo) < memoCap {
+		ts.kmemo = append(ts.kmemo, kernelMemo{volatile: volatile, p: p, img: img})
+	}
+	return img, nil
+}
+
+// probeImage is kernelImage's analogue for the reload-probe programs,
+// keyed by probe address.
+func (e *env) probeImage(addr uint64) (*isa.Image, error) {
+	ts := e.ts
+	if ts != nil {
+		for i := range ts.pmemo {
+			if ts.pmemo[i].addr == addr {
+				return ts.pmemo[i].img, nil
+			}
+		}
+	}
+	img, err := buildProbeCached(addr)
+	if err != nil {
+		return nil, err
+	}
+	if ts != nil && len(ts.pmemo) < memoCap {
+		ts.pmemo = append(ts.pmemo, probeMemo{addr: addr, img: img})
+	}
+	return img, nil
 }
 
 // runKernel builds the kernel, runs it in a process at physBase, and
@@ -153,14 +221,12 @@ func (e *env) runKernel(pid uint64, p kernelParams, physBase uint64) ([]uint64, 
 		ks := e.span.Child("kernel", obs.Str("kernel", p.name), obs.Int("iters", p.iters))
 		defer ks.End()
 	}
-	prog, err := buildKernelCached(false, p)
+	img, err := e.kernelImage(false, p)
 	if err != nil {
 		return nil, cpu.RunResult{}, err
 	}
 	proc := e.nextProc()
-	if err := e.m.InitProcess(proc, pid, prog, physBase); err != nil {
-		return nil, cpu.RunResult{}, err
-	}
+	e.m.InitProcessImage(proc, pid, img, physBase)
 	res, err := e.m.Run(proc)
 	if err != nil {
 		return nil, cpu.RunResult{}, err
@@ -200,9 +266,35 @@ func (e *env) flushProbeRegion(physBase uint64) {
 	}
 }
 
-// probeCache memoizes the per-line reload-probe programs (immutable
-// once built, like the kernel cache).
-var probeCache sync.Map // uint64 probe address -> *isa.Program
+// probeCache memoizes the per-line reload-probe images (immutable
+// once compiled, like the kernel cache).
+var probeCache sync.Map // uint64 probe address -> *isa.Image
+
+// buildProbeCached builds (or fetches) the compiled single-load reload
+// probe for one probe-line address.
+func buildProbeCached(addr uint64) (*isa.Image, error) {
+	if v, ok := probeCache.Load(addr); ok {
+		return v.(*isa.Image), nil
+	}
+	b := isa.NewBuilder("probe")
+	b.MovI(isa.R1, int64(addr))
+	b.Rdtsc(isa.R20)
+	b.Load(isa.R2, isa.R1, 0)
+	b.Fence()
+	b.Rdtsc(isa.R21)
+	b.Sub(isa.R22, isa.R21, isa.R20)
+	b.Halt()
+	built, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := isa.Compile(built)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := probeCache.LoadOrStore(addr, compiled)
+	return v.(*isa.Image), nil
+}
 
 // probeLatency runs a minimal reload probe in a process at physBase:
 // it times a single load of probe line `line` and returns the latency
@@ -214,29 +306,12 @@ func (e *env) probeLatency(pid uint64, physBase uint64, line uint64) (uint64, er
 		defer ps.End()
 	}
 	addr := probeBase + (line&valueMask)<<probeShift
-	var prog *isa.Program
-	if v, ok := probeCache.Load(addr); ok {
-		prog = v.(*isa.Program)
-	} else {
-		b := isa.NewBuilder("probe")
-		b.MovI(isa.R1, int64(addr))
-		b.Rdtsc(isa.R20)
-		b.Load(isa.R2, isa.R1, 0)
-		b.Fence()
-		b.Rdtsc(isa.R21)
-		b.Sub(isa.R22, isa.R21, isa.R20)
-		b.Halt()
-		built, err := b.Build()
-		if err != nil {
-			return 0, err
-		}
-		v, _ := probeCache.LoadOrStore(addr, built)
-		prog = v.(*isa.Program)
-	}
-	proc := e.nextProc()
-	if err := e.m.InitProcess(proc, pid, prog, physBase); err != nil {
+	img, err := e.probeImage(addr)
+	if err != nil {
 		return 0, err
 	}
+	proc := e.nextProc()
+	e.m.InitProcessImage(proc, pid, img, physBase)
 	res, err := e.m.Run(proc)
 	if err != nil {
 		return 0, err
@@ -320,14 +395,12 @@ func (e *env) runVolatileTrigger(pid uint64, p kernelParams, physBase uint64) (f
 		ks := e.span.Child("kernel", obs.Str("kernel", p.name), obs.Int("iters", p.iters))
 		defer ks.End()
 	}
-	prog, err := buildKernelCached(true, p)
+	img, err := e.kernelImage(true, p)
 	if err != nil {
 		return 0, cpu.RunResult{}, err
 	}
 	proc := e.nextProc()
-	if err := e.m.InitProcess(proc, pid, prog, physBase); err != nil {
-		return 0, cpu.RunResult{}, err
-	}
+	e.m.InitProcessImage(proc, pid, img, physBase)
 	res, err := e.m.Run(proc)
 	if err != nil {
 		return 0, cpu.RunResult{}, err

@@ -127,7 +127,12 @@ func (r CaseResult) Histograms(binWidth float64) (*stats.Histogram, *stats.Histo
 		binWidth = 20
 	}
 	max := 600.0
-	for _, x := range append(append([]float64(nil), r.Mapped...), r.Unmapped...) {
+	for _, x := range r.Mapped {
+		if x >= max {
+			max = x + binWidth
+		}
+	}
+	for _, x := range r.Unmapped {
 		if x >= max {
 			max = x + binWidth
 		}

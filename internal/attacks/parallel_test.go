@@ -26,6 +26,32 @@ func stripEnv(r CaseResult) CaseResult {
 	return r
 }
 
+// TestPerTrialSetupDeterminism: the batched sequential driver (one
+// trial state held across a case) and the per-trial sync.Pool path
+// must produce identical CaseResult observations and a byte-identical
+// metrics export — PerTrialSetup is benchcore's comparison knob and
+// may never change a result.
+func TestPerTrialSetupDeterminism(t *testing.T) {
+	runWith := func(perTrial bool) (CaseResult, string) {
+		reg := metrics.NewRegistry()
+		opt := Options{Predictor: LVP, Channel: core.Persistent,
+			Runs: 8, Seed: 42, Jobs: 1, Metrics: reg, PerTrialSetup: perTrial}
+		r, err := Run(core.TrainTest, opt)
+		if err != nil {
+			t.Fatalf("perTrial=%v: %v", perTrial, err)
+		}
+		return stripEnv(r), snapJSON(t, reg)
+	}
+	batched, batchedJSON := runWith(false)
+	pooled, pooledJSON := runWith(true)
+	if !reflect.DeepEqual(batched, pooled) {
+		t.Errorf("CaseResult differs between batched and per-trial setup:\nbatched: %+v\npooled:  %+v", batched, pooled)
+	}
+	if batchedJSON != pooledJSON {
+		t.Error("metrics export differs between batched and per-trial setup")
+	}
+}
+
 // TestRunJobsDeterminism is the determinism contract's regression
 // test: the same case at Jobs=1 (legacy sequential loop) and Jobs=8
 // (worker pool) must produce identical CaseResult observations,

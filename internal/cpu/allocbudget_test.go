@@ -19,10 +19,11 @@ import (
 // runAllocBudget bounds the average heap allocations one Machine.Run
 // of a miss-heavy progen program may make once the machine is warm
 // (arena, pipeline pool and caches in steady state). The arena +
-// ready-queue rework brought this to zero; the budget leaves a little
-// headroom so an accidental per-instruction or per-miss allocation
-// (hundreds per run) still fails loudly.
-const runAllocBudget = 8
+// ready-queue rework brought this to zero, and the bitmap-scoreboard
+// scheduler keeps it there (masks and SoA lanes are preallocated and
+// reused across runs), so the budget is near-exact: any accidental
+// per-run allocation fails loudly, never mind a per-instruction one.
+const runAllocBudget = 1
 
 func TestMachineRunSteadyStateAllocs(t *testing.T) {
 	prog := progen.Generate(progen.Default(), 12345)

@@ -80,16 +80,22 @@ func (m *Machine) getPipeline(proc *Process) *pipeline {
 }
 
 // putPipeline returns a pipeline to the pool, releasing every entry it
-// still owns (in-flight and retired) back to the arena.
+// still owns (in-flight and retired) back to the arena. Each in-flight
+// entry's scoreboard slot is vacated first, restoring the pooled
+// invariant that every mask is all-zero — which is what lets initSched
+// skip re-zeroing on the next run (a clean HALT leaves nothing in
+// flight; this loop only does mask work after an error or cycle-limit
+// abort).
 func (m *Machine) putPipeline(p *pipeline) {
 	for p.rob.len() > 0 {
-		m.arena.release(p.rob.popFront())
+		e := p.rob.popFront()
+		p.clearSlot(e.slot)
+		m.arena.release(e)
 	}
 	for _, e := range p.retired {
 		m.arena.release(e)
 	}
 	p.retired = p.retired[:0]
-	p.ready = p.ready[:0]
 	p.fences = p.fences[:0]
 	m.pipePool = append(m.pipePool, p)
 }
@@ -155,6 +161,19 @@ func (m *Machine) InitProcess(p *Process, pid uint64, prog *isa.Program, physBas
 		m.Hier.Mem.Write(physBase+a, v)
 	}
 	return nil
+}
+
+// InitProcessImage installs a precompiled isa.Image: the program was
+// validated at Compile time and its data section is a dense sorted
+// slice, so per-trial installation is a plain copy loop with no
+// validation pass and no map iteration. The batched trial driver in
+// internal/attacks leans on this to recycle one machine through
+// hundreds of trials of the same compiled kernels.
+func (m *Machine) InitProcessImage(p *Process, pid uint64, img *isa.Image, physBase uint64) {
+	*p = Process{PID: pid, Prog: img.Prog, PhysBase: physBase}
+	for _, w := range img.Data {
+		m.Hier.Mem.Write(physBase+w.Addr, w.Value)
+	}
 }
 
 // NewProcess registers a process: its initial data words are written

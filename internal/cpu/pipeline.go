@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"math/bits"
+
 	"vpsec/internal/isa"
 	"vpsec/internal/mem"
 	"vpsec/internal/predictor"
@@ -38,10 +40,16 @@ type entry struct {
 	in    isa.Instr
 	state entryState
 
+	// slot is the entry's physical index in the ROB ring, assigned at
+	// fetch and stable for its whole residency. It keys every bitmap
+	// scoreboard and SoA slice (see scoreboard.go); the per-cycle
+	// writeback/verify deadlines live in pipeline.finishAtA/verifyAtA
+	// rather than here so the hot scans walk contiguous memory.
+	slot int
+
 	src1, src2 operand
 
-	result   uint64
-	finishAt uint64 // writeback cycle once executing
+	result uint64
 
 	// Load bookkeeping.
 	addr        uint64 // virtual data address
@@ -53,7 +61,6 @@ type entry struct {
 	predicted   bool   // VPS produced a value
 	verified    bool   // verification completed
 	pred        predictor.Prediction
-	verifyAt    uint64 // cycle the real value returns
 	needInstall bool   // D-type: cache fill deferred to commit
 	fwdFrom     *entry // the store this load forwarded from, if any
 
@@ -63,17 +70,6 @@ type entry struct {
 	// lives of a recycled entry) can never collide because the epoch
 	// counter is machine-global and strictly increasing.
 	replayMark uint64
-
-	// inReady tracks membership in the pipeline's ready list so wake
-	// and replay re-sourcing never enqueue an entry twice.
-	inReady bool
-
-	// consumers lists the entries whose unready operands reference this
-	// producer, registered at rename (and at replay re-sourcing); wake
-	// walks this list instead of scanning the whole ROB. Stale pointers
-	// (squashed-and-recycled consumers) are harmless: waking checks the
-	// consumer still names this producer.
-	consumers []*entry
 }
 
 // fullyDone reports whether the entry's result is architecturally
@@ -117,15 +113,30 @@ func (a *entryArena) alloc() *entry {
 	return e
 }
 
-// release zeroes the entry (dropping every cross-entry pointer, so a
-// stale reference to a recycled entry can never read as live) and puts
-// it on the free list. The consumers slice keeps its capacity.
+// release scrubs the entry and puts it on the free list. Zeroing is
+// selective: fields that fetch unconditionally overwrites on the next
+// alloc (seq, pc, in, slot, nextPC, and both operands via capture) keep
+// their stale values, which nothing can read — a freed entry is only
+// reachable through the free list, and release happens only once no
+// in-flight consumer can re-source it (commit drains retired entries
+// after the ROB empties; squash drops the consumers with the producer).
+// Everything state-dependent — execution state, load/prediction
+// bookkeeping, the forwarding pointer — is cleared so the next life
+// starts exactly as a zero entry would.
 func (a *entryArena) release(e *entry) {
-	cons := e.consumers
-	for i := range cons {
-		cons[i] = nil
-	}
-	*e = entry{consumers: cons[:0]}
+	e.state = 0
+	e.result = 0
+	e.addr = 0
+	e.paddr = 0
+	e.actual = 0
+	e.missLoad = false
+	e.vpsEngaged = false
+	e.predicted = false
+	e.verified = false
+	e.needInstall = false
+	e.pred = predictor.Prediction{}
+	e.fwdFrom = nil
+	e.replayMark = 0
 	a.free = append(a.free, e)
 }
 
@@ -186,21 +197,6 @@ func (q *robQ) truncate(keep int) {
 	q.n = keep
 }
 
-// indexOf locates e in the queue by its fetch sequence (entries are
-// strictly seq-ordered, so binary search applies).
-func (q *robQ) indexOf(e *entry) int {
-	lo, hi := 0, q.n
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if q.at(mid).seq < e.seq {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
-}
-
 const never = ^uint64(0)
 
 // pipeline is the per-run execution state. Pipelines are pooled on the
@@ -222,10 +218,25 @@ type pipeline struct {
 	seq             uint64
 	seqBase         uint64 // disambiguates trace seqs across SMT threads
 
-	// ready lists waiting entries whose operands are both available;
-	// issue sorts it by seq (oldest first, the select priority) instead
-	// of scanning the whole ROB every cycle.
-	ready []*entry
+	// Bitmap scoreboards over the ROB ring, indexed by physical slot
+	// (see scoreboard.go). Ring order from the head is fetch-seq order,
+	// so every oldest-first scan is a TrailingZeros64 sweep — no sort.
+	mwords int      // words per mask: ceil(ROBSize/64)
+	readyM []uint64 // waiting, both operands ready, not FENCE: the issue pool
+	execM  []uint64 // stExecuting: the writeback scan pool
+	pendVM []uint64 // predicted && !verified: the verification scan pool
+	doneM  []uint64 // fullyDone: RDTSC's all-older-done test
+	missM  []uint64 // missLoad: MSHR occupancy scan
+	storeM []uint64 // op == STORE: load disambiguation scan
+	consM  []uint64 // per-producer consumer rows (wakeup is an OR)
+
+	// Struct-of-arrays mirrors of the per-slot scalars the hot scans
+	// read, so issue/finish/verify walk contiguous memory instead of
+	// chasing *entry.
+	seqA      []uint64 // fetch sequence per slot
+	finishAtA []uint64 // writeback cycle once executing
+	verifyAtA []uint64 // cycle a predicted load's real value returns
+
 	// fences lists in-flight FENCE entries oldest-first; the oldest
 	// unresolved one is the issue barrier.
 	fences []*entry
@@ -268,6 +279,7 @@ type pipeline struct {
 func (p *pipeline) reset(m *Machine, proc *Process) {
 	p.m, p.proc, p.cfg = m, proc, &m.Cfg
 	p.rob.init(m.Cfg.ROBSize)
+	p.initSched(m.Cfg.ROBSize)
 	p.rename = [isa.NumRegs]*entry{}
 	p.regs = proc.Regs
 	p.fetchPC = 0
@@ -275,7 +287,6 @@ func (p *pipeline) reset(m *Machine, proc *Process) {
 	p.fetchDone = false
 	p.halted = false
 	p.seq, p.seqBase = 0, 0
-	p.ready = p.ready[:0]
 	p.fences = p.fences[:0]
 	p.retired = p.retired[:0]
 	p.nextFinish, p.nextVerify = never, never
@@ -321,7 +332,7 @@ func (p *pipeline) step() (bool, error) {
 	}
 	p.resolveFences()
 	p.commit(now)
-	if len(p.ready) > 0 {
+	if maskAny(p.readyM) {
 		budget := issueBudget{ports: p.cfg.IssueWidth, mem: p.cfg.MemPorts, mul: p.cfg.MulPorts}
 		if err := p.issue(now, &budget); err != nil {
 			return false, err
@@ -373,103 +384,145 @@ func (p *pipeline) nextEvent(now uint64) uint64 {
 
 // verify runs the Prediction Engine Verification (Fig. 1): when the
 // real value of a predicted load returns, the predictor trains and a
-// mismatch squashes all younger instructions. The scan also recomputes
-// the next pending verification time, which gates the next scan.
+// mismatch squashes all younger instructions. The scan walks the
+// pending-verification scoreboard in ring (= fetch) order, re-reading
+// the live mask after every entry so a mid-scan squash or replay that
+// drops younger bits is honored; it also recomputes the next pending
+// verification time, which gates the next scan.
 func (p *pipeline) verify(now uint64) {
 	next := uint64(never)
-	for i := 0; i < p.rob.len(); i++ {
-		e := p.rob.at(i)
-		if !e.predicted || e.verified {
-			continue
+	a0, a1, b0, b1 := p.ringSegs(p.rob.n)
+	for seg := 0; seg < 2; seg++ {
+		lo, hi := a0, a1
+		if seg == 1 {
+			lo, hi = b0, b1
 		}
-		if now < e.verifyAt {
-			if e.verifyAt < next {
-				next = e.verifyAt
+		for w := lo >> slotWordShift; w<<slotWordShift < hi; w++ {
+			segMask := wordMask(lo, hi, w)
+			var seen uint64
+			for {
+				word := p.pendVM[w] & segMask &^ seen
+				if word == 0 {
+					break
+				}
+				b := uint(bits.TrailingZeros64(word))
+				seen |= 1 << b
+				slot := w<<slotWordShift | int(b)
+				if now < p.verifyAtA[slot] {
+					if p.verifyAtA[slot] < next {
+						next = p.verifyAtA[slot]
+					}
+					continue
+				}
+				e := p.rob.buf[slot]
+				e.verified = true
+				bitClear(p.pendVM, slot)
+				if e.fullyDone() {
+					bitSet(p.doneM, slot)
+				}
+				p.activity = true
+				p.m.Pred.Update(p.ctxFor(e), e.actual, e.pred)
+				if e.pred.Value == e.actual {
+					p.res.VerifyCorrect++
+					p.emit(trace.Verify, e, now, "correct")
+					continue
+				}
+				p.res.VerifyWrong++
+				p.emit(trace.Verify, e, now, "wrong")
+				e.result = e.actual
+				if p.cfg.SelectiveReplay {
+					p.replayDependents(e, p.ringIndex(slot), now)
+					continue
+				}
+				p.squashAfter(p.ringIndex(slot), e.pc+1, now+p.cfg.SquashPenalty)
 			}
-			continue
 		}
-		e.verified = true
-		p.activity = true
-		p.m.Pred.Update(p.ctxFor(e), e.actual, e.pred)
-		if e.pred.Value == e.actual {
-			p.res.VerifyCorrect++
-			p.emit(trace.Verify, e, now, "correct")
-			continue
-		}
-		p.res.VerifyWrong++
-		p.emit(trace.Verify, e, now, "wrong")
-		e.result = e.actual
-		if p.cfg.SelectiveReplay {
-			p.replayDependents(e, i, now)
-			continue
-		}
-		p.squashAfter(i, e.pc+1, now+p.cfg.SquashPenalty)
 	}
 	p.nextVerify = next
 }
 
 // finish completes executions whose latency elapsed, broadcasts
 // results, trains the predictor on unpredicted misses, and resolves
-// branches. The scan recomputes the next pending writeback time, which
-// gates the next scan.
+// branches. The scan walks the executing scoreboard in ring order —
+// re-reading the live mask after every entry, so a mid-scan branch
+// squash that clears younger bits is honored — and recomputes the next
+// pending writeback time, which gates the next scan.
 func (p *pipeline) finish(now uint64) {
 	next := uint64(never)
-	for i := 0; i < p.rob.len(); i++ {
-		e := p.rob.at(i)
-		if e.state != stExecuting {
-			continue
+	a0, a1, b0, b1 := p.ringSegs(p.rob.n)
+	for seg := 0; seg < 2; seg++ {
+		lo, hi := a0, a1
+		if seg == 1 {
+			lo, hi = b0, b1
 		}
-		if now < e.finishAt {
-			if e.finishAt < next {
-				next = e.finishAt
+		for w := lo >> slotWordShift; w<<slotWordShift < hi; w++ {
+			segMask := wordMask(lo, hi, w)
+			var seen uint64
+			for {
+				word := p.execM[w] & segMask &^ seen
+				if word == 0 {
+					break
+				}
+				b := uint(bits.TrailingZeros64(word))
+				seen |= 1 << b
+				slot := w<<slotWordShift | int(b)
+				if now < p.finishAtA[slot] {
+					if p.finishAtA[slot] < next {
+						next = p.finishAtA[slot]
+					}
+					continue
+				}
+				e := p.rob.buf[slot]
+				e.state = stDone
+				bitClear(p.execM, slot)
+				if e.fullyDone() {
+					bitSet(p.doneM, slot)
+				}
+				p.activity = true
+				p.emit(trace.Writeback, e, now, "")
+				if e.in.Op == isa.LOAD && e.vpsEngaged && !e.predicted {
+					// Training access: the miss completed without a prediction.
+					p.m.Pred.Update(p.ctxFor(e), e.actual, predictor.Prediction{})
+				}
+				if e.in.Op.IsBranch() {
+					taken := p.branchTaken(e)
+					if p.cfg.BimodalBranch {
+						p.trainBimodal(e.pc, taken)
+					}
+					actual := e.in.Target
+					if !taken {
+						actual = e.pc + 1
+					}
+					// Compare against the path fetch actually followed
+					// (e.nextPC), not the fetch-time prediction: under
+					// selective replay a branch can resolve more than once,
+					// and after its first redirect the fetched path is the
+					// previous resolution.
+					if actual != e.nextPC {
+						p.res.BranchSquash++
+						e.nextPC = actual
+						p.squashAfter(p.ringIndex(slot), actual, now+p.cfg.BranchPenalty)
+					}
+					continue
+				}
+				if e.in.Op == isa.JALR {
+					// Indirect jump: the target is the register value, known
+					// only now. Fetch followed e.nextPC (initially the
+					// fall-through; after a redirect, the previous resolved
+					// target), so redirect and squash on any disagreement.
+					p.wake(e) // the link value
+					target := int(e.src1.val)
+					if target != e.nextPC {
+						p.res.BranchSquash++
+						e.nextPC = target
+						p.squashAfter(p.ringIndex(slot), target, now+p.cfg.BranchPenalty)
+					}
+					continue
+				}
+				if e.in.Op.WritesDst() {
+					p.wake(e)
+				}
 			}
-			continue
-		}
-		e.state = stDone
-		p.activity = true
-		p.emit(trace.Writeback, e, now, "")
-		if e.in.Op == isa.LOAD && e.vpsEngaged && !e.predicted {
-			// Training access: the miss completed without a prediction.
-			p.m.Pred.Update(p.ctxFor(e), e.actual, predictor.Prediction{})
-		}
-		if e.in.Op.IsBranch() {
-			taken := p.branchTaken(e)
-			if p.cfg.BimodalBranch {
-				p.trainBimodal(e.pc, taken)
-			}
-			actual := e.in.Target
-			if !taken {
-				actual = e.pc + 1
-			}
-			// Compare against the path fetch actually followed
-			// (e.nextPC), not the fetch-time prediction: under
-			// selective replay a branch can resolve more than once,
-			// and after its first redirect the fetched path is the
-			// previous resolution.
-			if actual != e.nextPC {
-				p.res.BranchSquash++
-				e.nextPC = actual
-				p.squashAfter(i, actual, now+p.cfg.BranchPenalty)
-				continue
-			}
-			continue
-		}
-		if e.in.Op == isa.JALR {
-			// Indirect jump: the target is the register value, known
-			// only now. Fetch followed e.nextPC (initially the
-			// fall-through; after a redirect, the previous resolved
-			// target), so redirect and squash on any disagreement.
-			p.wake(e) // the link value
-			target := int(e.src1.val)
-			if target != e.nextPC {
-				p.res.BranchSquash++
-				e.nextPC = target
-				p.squashAfter(i, target, now+p.cfg.BranchPenalty)
-			}
-			continue
-		}
-		if e.in.Op.WritesDst() {
-			p.wake(e)
 		}
 	}
 	p.nextFinish = next
@@ -490,38 +543,53 @@ func (p *pipeline) branchTaken(e *entry) bool {
 	return false
 }
 
-// wake broadcasts e's result to the consumers registered against it at
-// rename time, instead of scanning the whole ROB. A consumer pointer
-// may be stale (its entry squashed and recycled since registration),
-// so each wake re-checks that the consumer still names e as its
-// producer; recycled entries had their operands zeroed on release and
-// re-register if they genuinely depend on e again.
+// wake broadcasts e's result to the consumers registered against its
+// scoreboard row, instead of scanning the whole ROB. A row bit may be
+// stale (the consumer squashed and its slot vacated or reused since
+// registration), so each wake re-checks that the slot's occupant still
+// names e as its producer; entries that genuinely depend on e again
+// re-registered the same bit, which is idempotent.
 func (p *pipeline) wake(e *entry) {
-	cons := e.consumers
-	for i, x := range cons {
-		if x.src1.prod == e {
-			x.src1 = operand{ready: true, val: e.result, origProd: e}
+	row := p.consRow(e.slot)
+	for w, word := range row {
+		if word == 0 {
+			continue
 		}
-		if x.src2.prod == e {
-			x.src2 = operand{ready: true, val: e.result, origProd: e}
+		row[w] = 0
+		base := w << slotWordShift
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			x := p.rob.buf[base|b]
+			if x == nil {
+				continue
+			}
+			hit := false
+			if x.src1.prod == e {
+				x.src1 = operand{ready: true, val: e.result, origProd: e}
+				hit = true
+			}
+			if x.src2.prod == e {
+				x.src2 = operand{ready: true, val: e.result, origProd: e}
+				hit = true
+			}
+			if hit {
+				p.markReady(x)
+			}
 		}
-		p.markReady(x)
-		cons[i] = nil
 	}
-	e.consumers = cons[:0]
 }
 
-// markReady puts a waiting entry with both operands available on the
-// ready list (once).
+// markReady flags a waiting entry with both operands available on the
+// ready scoreboard (idempotent: setting a set bit is a no-op).
 func (p *pipeline) markReady(e *entry) {
-	if e.inReady || e.state != stWaiting || e.in.Op == isa.FENCE {
+	if e.state != stWaiting || e.in.Op == isa.FENCE {
 		return
 	}
 	if !e.src1.ready || !e.src2.ready {
 		return
 	}
-	e.inReady = true
-	p.ready = append(p.ready, e)
+	bitSet(p.readyM, e.slot)
 }
 
 // resolveFences completes a FENCE only when it reaches the head of the
@@ -537,6 +605,7 @@ func (p *pipeline) resolveFences() {
 	}
 	if e := p.rob.at(0); e.in.Op == isa.FENCE && e.state != stDone {
 		e.state = stDone
+		bitSet(p.doneM, e.slot)
 		p.activity = true
 	}
 }
@@ -598,6 +667,7 @@ func (p *pipeline) commit(now uint64) {
 			h(c)
 		}
 		p.emit(trace.Commit, e, now, "")
+		p.clearSlot(e.slot)
 		p.rob.popFront()
 		p.retired = append(p.retired, e)
 		p.res.Retired++
@@ -638,109 +708,97 @@ func (p *pipeline) recordConflict() {
 }
 
 // issue selects ready entries oldest-first and starts execution,
-// bounded by the cycle's remaining issue ports and memory ports. Only
-// the ready list is examined — entries enter it at rename, wakeup or
-// replay re-sourcing, never by scanning the ROB.
+// bounded by the cycle's remaining issue ports and memory ports. The
+// select priority is free: the ready scoreboard is scanned in ring
+// order from the ROB head, which is fetch-seq order by construction,
+// so the old insertion sort disappears. Entries enter the scoreboard
+// at rename, wakeup or replay re-sourcing, never by scanning the ROB.
 func (p *pipeline) issue(now uint64, budget *issueBudget) error {
-	// Entries younger than the oldest unresolved FENCE may not issue.
-	barrier := uint64(never)
+	// Entries younger than the oldest unresolved FENCE may not issue —
+	// and per the legacy semantics they neither consume ports nor count
+	// as conflicts, so the scan simply stops at the fence's slot.
+	limit := p.rob.n
 	for _, f := range p.fences {
 		if f.state != stDone {
-			barrier = f.seq
+			limit = p.ringIndex(f.slot)
 			break
 		}
 	}
-	// Oldest-first select priority. Insertion sort: the list is small
-	// and usually already ordered.
-	ready := p.ready
-	for i := 1; i < len(ready); i++ {
-		for j := i; j > 0 && ready[j-1].seq > ready[j].seq; j-- {
-			ready[j-1], ready[j] = ready[j], ready[j-1]
+	a0, a1, b0, b1 := p.ringSegs(limit)
+	for seg := 0; seg < 2; seg++ {
+		lo, hi := a0, a1
+		if seg == 1 {
+			lo, hi = b0, b1
 		}
-	}
-	kept := ready[:0]
-	for idx := 0; idx < len(ready); idx++ {
-		e := ready[idx]
-		// Replay re-sourcing can take a listed entry's operands away
-		// again; drop it — wake will relist it.
-		if e.state != stWaiting || !e.src1.ready || !e.src2.ready {
-			e.inReady = false
-			continue
-		}
-		if e.seq > barrier {
-			kept = append(kept, e)
-			continue
-		}
-		if budget.ports <= 0 {
-			// Ready but no issue port left this cycle: the structural
-			// contention an SMT co-runner feels (volatile channel).
-			p.recordConflict()
-			kept = append(kept, e)
-			continue
-		}
-		switch e.in.Op {
-		case isa.LOAD, isa.STORE, isa.FLUSH:
-			if budget.mem <= 0 {
-				kept = append(kept, e)
-				continue
-			}
-			ok, err := p.issueMem(e, p.rob.indexOf(e), now)
-			if err != nil {
-				// Preserve the list across the error return.
-				kept = append(kept, ready[idx:]...)
-				p.ready = kept
-				return err
-			}
-			if !ok {
-				kept = append(kept, e)
-				continue
-			}
-			budget.mem--
-		case isa.MUL, isa.MULHU, isa.DIVU, isa.REMU:
-			// The multiply/divide unit has its own (narrow) issue port —
-			// the port-type asymmetry SMoTherSpectre-style fingerprinting
-			// keys on.
-			if budget.mul <= 0 {
-				p.recordConflict()
-				kept = append(kept, e)
-				continue
-			}
-			budget.mul--
-			e.result = p.aluResult(e)
-			e.state = stExecuting
-			e.finishAt = now + p.aluLatency(e.in.Op)
-		case isa.RDTSC:
-			// Serializing read of the time base: waits for all older
-			// instructions, like rdtscp.
-			olderDone := true
-			for j := p.rob.indexOf(e) - 1; j >= 0; j-- {
-				if !p.rob.at(j).fullyDone() {
-					olderDone = false
+		for w := lo >> slotWordShift; w<<slotWordShift < hi; w++ {
+			segMask := wordMask(lo, hi, w)
+			var seen uint64
+			for {
+				word := p.readyM[w] & segMask &^ seen
+				if word == 0 {
 					break
 				}
+				b := uint(bits.TrailingZeros64(word))
+				seen |= 1 << b
+				slot := w<<slotWordShift | int(b)
+				e := p.rob.buf[slot]
+				if budget.ports <= 0 {
+					// Ready but no issue port left this cycle: the structural
+					// contention an SMT co-runner feels (volatile channel).
+					p.recordConflict()
+					continue
+				}
+				switch e.in.Op {
+				case isa.LOAD, isa.STORE, isa.FLUSH:
+					if budget.mem <= 0 {
+						continue
+					}
+					ok, err := p.issueMem(e, p.ringIndex(slot), now)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						continue
+					}
+					budget.mem--
+				case isa.MUL, isa.MULHU, isa.DIVU, isa.REMU:
+					// The multiply/divide unit has its own (narrow) issue port —
+					// the port-type asymmetry SMoTherSpectre-style fingerprinting
+					// keys on.
+					if budget.mul <= 0 {
+						p.recordConflict()
+						continue
+					}
+					budget.mul--
+					e.result = p.aluResult(e)
+					e.state = stExecuting
+					p.finishAtA[slot] = now + p.aluLatency(e.in.Op)
+				case isa.RDTSC:
+					// Serializing read of the time base: waits for all older
+					// instructions, like rdtscp.
+					if !p.allDoneBefore(p.ringIndex(slot)) {
+						continue
+					}
+					e.result = now
+					e.state = stExecuting
+					p.finishAtA[slot] = now + 1
+				default:
+					e.result = p.aluResult(e)
+					e.state = stExecuting
+					p.finishAtA[slot] = now + p.aluLatency(e.in.Op)
+				}
+				bitClear(p.readyM, slot)
+				bitSet(p.execM, slot)
+				if p.finishAtA[slot] < p.nextFinish {
+					p.nextFinish = p.finishAtA[slot]
+				}
+				p.emit(trace.Issue, e, now, "")
+				p.res.Issued++
+				p.activity = true
+				budget.ports--
 			}
-			if !olderDone {
-				kept = append(kept, e)
-				continue
-			}
-			e.result = now
-			e.state = stExecuting
-			e.finishAt = now + 1
-		default:
-			e.result = p.aluResult(e)
-			e.state = stExecuting
-			e.finishAt = now + p.aluLatency(e.in.Op)
 		}
-		e.inReady = false
-		if e.finishAt < p.nextFinish {
-			p.nextFinish = e.finishAt
-		}
-		p.emit(trace.Issue, e, now, "")
-		p.res.Issued++
-		p.activity = true
-		budget.ports--
 	}
-	p.ready = kept
 	return nil
 }
 
@@ -818,7 +876,7 @@ func (p *pipeline) issueMem(e *entry, idx int, now uint64) (bool, error) {
 	case isa.STORE, isa.FLUSH:
 		// Address (and data, for stores) computed; effects at commit.
 		e.state = stExecuting
-		e.finishAt = now + 1
+		p.finishAtA[e.slot] = now + 1
 		if DebugTrace {
 			dbg("%d: issue %v pc=%d paddr=%#x", now, e.in.Op, e.pc, e.paddr)
 		}
@@ -827,28 +885,39 @@ func (p *pipeline) issueMem(e *entry, idx int, now uint64) (bool, error) {
 
 	// LOAD: conservative disambiguation — all older stores must have
 	// known addresses; the youngest older store to the same word
-	// forwards its data.
-	for j := idx - 1; j >= 0; j-- {
-		s := p.rob.at(j)
-		if s.in.Op != isa.STORE {
-			continue
+	// forwards its data. The store scoreboard is scanned youngest-first
+	// (descending ring order), so non-store entries cost nothing.
+	a0, a1, b0, b1 := p.ringSegs(idx)
+	for seg := 1; seg >= 0; seg-- {
+		lo, hi := a0, a1
+		if seg == 1 {
+			lo, hi = b0, b1
 		}
-		if !s.src1.ready {
-			return false, nil // unknown older store address
+		for w := (hi - 1) >> slotWordShift; w >= 0 && (w+1)<<slotWordShift > lo; w-- {
+			word := p.storeM[w] & wordMask(lo, hi, w)
+			for word != 0 {
+				b := 63 - uint(bits.LeadingZeros64(word))
+				word &^= 1 << b
+				slot := w<<slotWordShift | int(b)
+				s := p.rob.buf[slot]
+				if !s.src1.ready {
+					return false, nil // unknown older store address
+				}
+				if s.src1.val+uint64(s.in.Imm) != e.addr {
+					continue
+				}
+				if !s.src2.ready {
+					return false, nil // matching store, data not ready
+				}
+				e.result = s.src2.val
+				e.actual = s.src2.val
+				e.fwdFrom = s
+				e.state = stExecuting
+				p.finishAtA[e.slot] = now + 1
+				p.res.Forwards++
+				return true, nil
+			}
 		}
-		if s.src1.val+uint64(s.in.Imm) != e.addr {
-			continue
-		}
-		if !s.src2.ready {
-			return false, nil // matching store, data not ready
-		}
-		e.result = s.src2.val
-		e.actual = s.src2.val
-		e.fwdFrom = s
-		e.state = stExecuting
-		e.finishAt = now + 1
-		p.res.Forwards++
-		return true, nil
 	}
 
 	// Miss-status holding registers: a load that will miss the L1 needs
@@ -875,12 +944,13 @@ func (p *pipeline) issueMem(e *entry, idx int, now uint64) (bool, error) {
 	if served != mem.LevelL1 {
 		p.res.LoadMisses++
 		e.missLoad = true
+		bitSet(p.missM, e.slot)
 	}
 	if served != mem.LevelMem {
 		// Cache hit (L1 or L2): the load-based VPS is not engaged
 		// (Sec. II: train/modify/trigger all require a cache miss).
 		e.result = e.actual
-		e.finishAt = now + lat
+		p.finishAtA[e.slot] = now + lat
 		return true, nil
 	}
 
@@ -894,15 +964,16 @@ func (p *pipeline) issueMem(e *entry, idx int, now uint64) (bool, error) {
 		e.predicted = true
 		e.pred = pred
 		e.result = pred.Value
-		e.finishAt = now + 1
-		e.verifyAt = now + lat
-		if e.verifyAt < p.nextVerify {
-			p.nextVerify = e.verifyAt
+		p.finishAtA[e.slot] = now + 1
+		p.verifyAtA[e.slot] = now + lat
+		bitSet(p.pendVM, e.slot)
+		if now+lat < p.nextVerify {
+			p.nextVerify = now + lat
 		}
 		p.res.Predictions++
 	} else {
 		e.result = e.actual
-		e.finishAt = now + lat
+		p.finishAtA[e.slot] = now + lat
 		p.res.NoPredictions++
 	}
 	return true, nil
@@ -914,19 +985,21 @@ func (p *pipeline) issueMem(e *entry, idx int, now uint64) (bool, error) {
 func (p *pipeline) outstandingMisses() int {
 	n := 0
 	now := p.m.Cycle
-	for i := 0; i < p.rob.len(); i++ {
-		e := p.rob.at(i)
-		if !e.missLoad {
-			continue
-		}
-		if e.predicted {
-			if !e.verified && e.verifyAt > now {
+	for w, word := range p.missM {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			slot := w<<slotWordShift | b
+			e := p.rob.buf[slot]
+			if e.predicted {
+				if !e.verified && p.verifyAtA[slot] > now {
+					n++
+				}
+				continue
+			}
+			if e.state == stExecuting && p.finishAtA[slot] > now {
 				n++
 			}
-			continue
-		}
-		if e.state == stExecuting && e.finishAt > now {
-			n++
 		}
 	}
 	return n
@@ -989,7 +1062,7 @@ func (p *pipeline) resetForReplay(e *entry) {
 		if o.origProd.fullyDone() {
 			*o = operand{ready: true, val: o.origProd.result, origProd: o.origProd}
 		} else {
-			o.origProd.consumers = append(o.origProd.consumers, e)
+			bitSet(p.consRow(o.origProd.slot), e.slot)
 			*o = operand{ready: false, prod: o.origProd, origProd: o.origProd}
 		}
 	}
@@ -1002,7 +1075,11 @@ func (p *pipeline) resetForReplay(e *entry) {
 	e.missLoad = false
 	e.needInstall = false
 	e.fwdFrom = nil
-	e.finishAt = 0
+	// Drop the slot from every state scoreboard (its own consumer row
+	// survives: registrations against this entry stay valid across the
+	// replay) and clear the stale deadline.
+	p.clearSched(e.slot)
+	p.finishAtA[e.slot] = 0
 	p.markReady(e)
 }
 
@@ -1018,22 +1095,16 @@ func (p *pipeline) squashAfter(idx int, newPC int, stallUntil uint64) {
 		}
 	}
 	p.res.Squashed += uint64(p.rob.len() - idx - 1)
-	// Purge the ready and fence lists of squashed entries before the
-	// entries themselves are recycled.
-	kept := p.ready[:0]
-	for _, e := range p.ready {
-		if e.seq <= cutoff {
-			kept = append(kept, e)
-		} else {
-			e.inReady = false
-		}
-	}
-	p.ready = kept
+	// Purge the fence list of squashed entries, then vacate each
+	// squashed slot: one mask clear drops it from every scoreboard
+	// (there is no ready list left to purge).
 	for len(p.fences) > 0 && p.fences[len(p.fences)-1].seq > cutoff {
 		p.fences = p.fences[:len(p.fences)-1]
 	}
 	for i := idx + 1; i < p.rob.len(); i++ {
-		p.m.arena.release(p.rob.at(i))
+		e := p.rob.at(i)
+		p.clearSlot(e.slot)
+		p.m.arena.release(e)
 	}
 	p.rob.truncate(idx + 1)
 	for r := range p.rename {
@@ -1071,6 +1142,14 @@ func (p *pipeline) fetch(now uint64) {
 		}
 		in := p.proc.Prog.Code[p.fetchPC]
 		e := p.m.arena.alloc()
+		// The ring slot is fixed for the entry's whole residency; it is
+		// assigned before capture so consumer registration can index the
+		// producer's bitmap row, and the slot's SoA lanes are scrubbed of
+		// the previous occupant's values.
+		e.slot = p.slotAt(p.rob.len())
+		p.seqA[e.slot] = p.seqBase + p.seq
+		p.finishAtA[e.slot] = 0
+		p.verifyAtA[e.slot] = 0
 		e.seq, e.pc, e.in = p.seqBase+p.seq, p.fetchPC, in
 		p.seq++
 		e.src1 = p.capture(in.Src1, in.Op.ReadsSrc1(), e)
@@ -1079,19 +1158,23 @@ func (p *pipeline) fetch(now uint64) {
 		switch in.Op {
 		case isa.JMP:
 			e.state = stDone
+			bitSet(p.doneM, e.slot)
 			p.fetchPC = in.Target
 		case isa.JAL:
 			// Call: the link value is known at fetch, the target is
 			// static — resolve both immediately.
 			e.state = stDone
+			bitSet(p.doneM, e.slot)
 			e.result = uint64(e.pc + 1)
 			p.fetchPC = in.Target
 		case isa.HALT:
 			e.state = stDone
+			bitSet(p.doneM, e.slot)
 			p.fetchDone = true
 			p.fetchPC++
 		case isa.NOP:
 			e.state = stDone
+			bitSet(p.doneM, e.slot)
 			p.fetchPC++
 		case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
 			// Direction prediction: static not-taken, or the bimodal
@@ -1112,6 +1195,9 @@ func (p *pipeline) fetch(now uint64) {
 		p.rob.push(e)
 		p.res.Fetched++
 		p.activity = true
+		if in.Op == isa.STORE {
+			bitSet(p.storeM, e.slot)
+		}
 		if in.Op == isa.FENCE {
 			p.fences = append(p.fences, e)
 		}
@@ -1134,7 +1220,7 @@ func (p *pipeline) capture(r isa.Reg, needed bool, consumer *entry) operand {
 		if prod.state == stDone {
 			return operand{ready: true, val: prod.result, origProd: prod}
 		}
-		prod.consumers = append(prod.consumers, consumer)
+		bitSet(p.consRow(prod.slot), consumer.slot)
 		return operand{ready: false, prod: prod, origProd: prod}
 	}
 	return operand{ready: true, val: p.regs[r]}

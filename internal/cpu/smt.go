@@ -58,7 +58,7 @@ func (m *Machine) RunSMT(a, b *Process) (RunResult, RunResult, error) {
 			}
 			t.p.resolveFences()
 			t.p.commit(now)
-			if len(t.p.ready) > 0 {
+			if maskAny(t.p.readyM) {
 				if err := t.p.issue(now, &budget); err != nil {
 					return finish(err)
 				}

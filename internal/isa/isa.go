@@ -9,7 +9,10 @@
 // are discarded.
 package isa
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Reg names an architectural register, R0..R31.
 type Reg uint8
@@ -270,4 +273,36 @@ func (p *Program) Disassemble() string {
 		out += fmt.Sprintf("%4d: %s\n", i, in)
 	}
 	return out
+}
+
+// DataWord is one initial data-memory word of a compiled Image.
+type DataWord struct {
+	Addr  uint64
+	Value uint64
+}
+
+// Image is a precompiled program: validated once, with the Data map
+// snapshotted into a dense address-sorted slice. Installing an Image
+// into a machine (cpu.Machine.InitProcessImage) skips both the
+// per-trial Validate pass and the map iteration, which is what lets a
+// batched case run hundreds of trials against one compiled artifact.
+// Images are immutable once compiled and safe to share across
+// goroutines.
+type Image struct {
+	Prog *Program
+	Data []DataWord
+}
+
+// Compile validates the program and snapshots its data section into an
+// Image. The program must not be mutated afterwards.
+func Compile(p *Program) (*Image, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	img := &Image{Prog: p, Data: make([]DataWord, 0, len(p.Data))}
+	for a, v := range p.Data {
+		img.Data = append(img.Data, DataWord{Addr: a, Value: v})
+	}
+	sort.Slice(img.Data, func(i, j int) bool { return img.Data[i].Addr < img.Data[j].Addr })
+	return img, nil
 }

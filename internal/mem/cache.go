@@ -12,6 +12,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 )
 
@@ -89,7 +90,12 @@ func (s CacheStats) HitRate() float64 {
 }
 
 type cacheLine struct {
-	valid bool
+	// epoch stamps the invalidation generation the line was filled in:
+	// the line is valid iff epoch == Cache.epoch. Bulk invalidation is
+	// then one counter bump instead of a memclr of the whole line array
+	// — the simulator resets its caches between every experiment trial,
+	// and that clear used to be the dominant per-trial setup cost.
+	epoch uint32
 	dirty bool
 	tag   uint64
 	lru   uint64 // last-touch tick; larger = more recent
@@ -104,9 +110,17 @@ type cacheLine struct {
 type Cache struct {
 	cfg   CacheConfig
 	lines []cacheLine
+	epoch uint32 // current validity generation; never 0 (0 = always invalid)
 	tick  uint64
 	rng   *rand.Rand
 	Stats CacheStats
+
+	// Sets and LineBytes are validated powers of two, so the per-access
+	// set/tag split is shift-and-mask instead of two hardware divides —
+	// index() sits on the critical path of every simulated memory access.
+	lineShift uint
+	setShift  uint
+	setMask   uint64
 }
 
 // NewCache builds a cache from cfg.
@@ -114,7 +128,11 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Cache{cfg: cfg, lines: make([]cacheLine, cfg.Sets*cfg.Ways)}
+	c := &Cache{cfg: cfg, lines: make([]cacheLine, cfg.Sets*cfg.Ways), epoch: 1,
+		lineShift: uint(bits.TrailingZeros64(cfg.LineBytes)),
+		setShift:  uint(bits.TrailingZeros(uint(cfg.Sets))),
+		setMask:   uint64(cfg.Sets - 1),
+	}
 	if cfg.Policy == Random {
 		c.rng = rand.New(rand.NewSource(cfg.Seed))
 	}
@@ -125,8 +143,8 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 func (c *Cache) Config() CacheConfig { return c.cfg }
 
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
-	line := addr / c.cfg.LineBytes
-	return int(line % uint64(c.cfg.Sets)), line / uint64(c.cfg.Sets)
+	line := addr >> c.lineShift
+	return int(line & c.setMask), line >> c.setShift
 }
 
 // set returns the ways of one set as a subslice of the flat array.
@@ -142,7 +160,7 @@ func (c *Cache) Lookup(addr uint64) bool {
 	c.tick++
 	for i := range ways {
 		l := &ways[i]
-		if l.valid && l.tag == tag {
+		if l.epoch == c.epoch && l.tag == tag {
 			if c.cfg.Policy == LRU {
 				l.lru = c.tick // FIFO/Random hits do not refresh
 			}
@@ -161,7 +179,7 @@ func (c *Cache) Contains(addr uint64) bool {
 	ways := c.set(s)
 	for i := range ways {
 		l := &ways[i]
-		if l.valid && l.tag == tag {
+		if l.epoch == c.epoch && l.tag == tag {
 			return true
 		}
 	}
@@ -188,7 +206,7 @@ func (c *Cache) insert(addr uint64, dirty bool) (evicted uint64, wasEvicted bool
 	// Already present: refresh.
 	for i := range ways {
 		l := &ways[i]
-		if l.valid && l.tag == tag {
+		if l.epoch == c.epoch && l.tag == tag {
 			l.lru = c.tick
 			l.dirty = l.dirty || dirty
 			return 0, false
@@ -196,7 +214,7 @@ func (c *Cache) insert(addr uint64, dirty bool) (evicted uint64, wasEvicted bool
 	}
 	victim := -1
 	for i := range ways {
-		if !ways[i].valid {
+		if ways[i].epoch != c.epoch {
 			victim = i
 			break
 		}
@@ -215,15 +233,15 @@ func (c *Cache) insert(addr uint64, dirty bool) (evicted uint64, wasEvicted bool
 		}
 	}
 	v := &ways[victim]
-	if v.valid {
+	if v.epoch == c.epoch {
 		c.Stats.Evictions++
 		if v.dirty {
 			c.Stats.Writebacks++
 		}
-		evicted = (v.tag*uint64(c.cfg.Sets) + uint64(s)) * c.cfg.LineBytes
+		evicted = (v.tag<<c.setShift | uint64(s)) << c.lineShift
 		wasEvicted = true
 	}
-	*v = cacheLine{valid: true, dirty: dirty, tag: tag, lru: c.tick}
+	*v = cacheLine{epoch: c.epoch, dirty: dirty, tag: tag, lru: c.tick}
 	return evicted, wasEvicted
 }
 
@@ -234,11 +252,11 @@ func (c *Cache) Flush(addr uint64) bool {
 	ways := c.set(s)
 	for i := range ways {
 		l := &ways[i]
-		if l.valid && l.tag == tag {
+		if l.epoch == c.epoch && l.tag == tag {
 			if l.dirty {
 				c.Stats.Writebacks++
 			}
-			l.valid = false
+			l.epoch = 0 // 0 never equals the current epoch
 			l.dirty = false
 			c.Stats.Flushes++
 			return true
@@ -247,9 +265,15 @@ func (c *Cache) Flush(addr uint64) bool {
 	return false
 }
 
-// InvalidateAll empties the cache (e.g. between experiment runs).
+// InvalidateAll empties the cache (e.g. between experiment runs) by
+// advancing the validity epoch — O(1), no line-array clear. The array
+// is physically cleared only when the 32-bit epoch wraps.
 func (c *Cache) InvalidateAll() {
-	clear(c.lines)
+	c.epoch++
+	if c.epoch == 0 {
+		clear(c.lines)
+		c.epoch = 1
+	}
 }
 
 // Reset restores the cache to its just-built state: all lines invalid,
@@ -257,7 +281,7 @@ func (c *Cache) InvalidateAll() {
 // replacement RNG reseeded — so a recycled cache behaves bit-identically
 // to a new one.
 func (c *Cache) Reset() {
-	clear(c.lines)
+	c.InvalidateAll()
 	c.tick = 0
 	c.Stats.Reset()
 	if c.cfg.Policy == Random {

@@ -1,6 +1,9 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // memPageShift sizes memory pages: one page covers 2^memPageShift
 // consecutive word addresses (the programs in this repo address words
@@ -13,6 +16,10 @@ const memPageSize = 1 << memPageShift
 // memPage is one allocated span of the sparse address space.
 type memPage struct {
 	words [memPageSize]uint64
+	// written marks the page as touched by a Write since the last
+	// Reset, i.e. enqueued on Memory.dirty. Pages not on that list are
+	// all-zero by construction, so Reset skips them.
+	written bool
 }
 
 // Memory is the backing store: a sparse 64-bit word space plus a fixed
@@ -24,6 +31,7 @@ type Memory struct {
 	pages   map[uint64]*memPage
 	lastNum uint64   // page number of last, when last != nil
 	last    *memPage // most recently touched page (spatial locality)
+	dirty   []*memPage
 	Reads   uint64
 	Writes  uint64
 }
@@ -65,6 +73,10 @@ func (m *Memory) Write(addr, v uint64) {
 		m.pages[num] = p
 		m.lastNum, m.last = num, p
 	}
+	if !p.written {
+		p.written = true
+		m.dirty = append(m.dirty, p)
+	}
 	p.words[addr&(memPageSize-1)] = v
 }
 
@@ -79,11 +91,15 @@ func (m *Memory) Peek(addr uint64) uint64 {
 // Reset restores the memory to its as-new state while keeping its page
 // storage allocated: every word reads as zero again and the counters
 // clear. Recycling pages across experiment trials removes what used to
-// be the dominant allocation source of trial construction.
+// be the dominant allocation source of trial construction. Only pages
+// actually written since the previous Reset are cleared — the dirty
+// list bounds the work by the trial's own write set, not the total
+// pages the memory has ever allocated.
 func (m *Memory) Reset() {
-	for _, p := range m.pages {
+	for _, p := range m.dirty {
 		*p = memPage{}
 	}
+	m.dirty = m.dirty[:0]
 	m.Reads, m.Writes = 0, 0
 }
 
@@ -126,11 +142,12 @@ type tlbEntry struct {
 // array is a fixed slice scanned linearly: at the default 64 entries
 // that is faster than any map, and Access never allocates.
 type TLB struct {
-	cfg  TLBConfig
-	ents []tlbEntry // valid entries; capacity fixed at cfg.Entries
-	tick uint64
-	Hits uint64
-	Miss uint64
+	cfg       TLBConfig
+	pageShift uint       // log2(cfg.PageBytes); validated power of two
+	ents      []tlbEntry // valid entries; capacity fixed at cfg.Entries
+	tick      uint64
+	Hits      uint64
+	Miss      uint64
 }
 
 // NewTLB builds a TLB from cfg.
@@ -141,12 +158,13 @@ func NewTLB(cfg TLBConfig) (*TLB, error) {
 	if cfg.PageBytes == 0 || cfg.PageBytes&(cfg.PageBytes-1) != 0 {
 		return nil, fmt.Errorf("mem: tlb page size %d not a power of two", cfg.PageBytes)
 	}
-	return &TLB{cfg: cfg, ents: make([]tlbEntry, 0, cfg.Entries)}, nil
+	return &TLB{cfg: cfg, pageShift: uint(bits.TrailingZeros64(cfg.PageBytes)),
+		ents: make([]tlbEntry, 0, cfg.Entries)}, nil
 }
 
 // Access translates addr, returning the latency contribution.
 func (t *TLB) Access(addr uint64) uint64 {
-	page := addr / t.cfg.PageBytes
+	page := addr >> t.pageShift
 	t.tick++
 	for i := range t.ents {
 		if t.ents[i].page == page {

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"vpsec/internal/attacks"
 	"vpsec/internal/core"
@@ -285,5 +286,43 @@ func TestRegisteredScenariosExecute(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// TestRegistrySweepWallClock is the ROADMAP's standing performance
+// target as an executable gate: the full registry sweep — every
+// registered scenario except the cachebench families, 65 specs — at
+// paper-default sample size (Runs=100) on ONE core must finish in
+// single-digit seconds. Gated behind VPBENCH_FULL because it runs the
+// real workload (~10⁷ simulated instructions); `make bench-full` sets
+// the variable. The bound is deliberately loose against machine
+// variance (the recorded BENCH_core.json wall clocks are the precise
+// trajectory); what it catches is an order-of-magnitude regression in
+// per-trial simulator speed.
+func TestRegistrySweepWallClock(t *testing.T) {
+	if os.Getenv("VPBENCH_FULL") == "" {
+		t.Skip("set VPBENCH_FULL=1 to run the full one-core registry sweep gate")
+	}
+	var specs []Spec
+	for _, s := range All() {
+		if s.Kind == KindCacheBench || s.Kind == KindCacheMatrix {
+			continue
+		}
+		s.Jobs = 1
+		specs = append(specs, s)
+	}
+	start := time.Now()
+	for _, s := range specs {
+		if _, err := Execute(context.Background(), s); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+	elapsed := time.Since(start)
+	t.Logf("registry sweep: %d scenarios at paper defaults in %.2fs on one core", len(specs), elapsed.Seconds())
+	if len(specs) != 65 {
+		t.Errorf("registry holds %d non-cachebench scenarios, want 65 (update the ROADMAP target and this gate together)", len(specs))
+	}
+	if elapsed >= 10*time.Second {
+		t.Errorf("one-core registry sweep took %.2fs, target single-digit seconds", elapsed.Seconds())
 	}
 }
