@@ -11,7 +11,7 @@
 # the cycle-level core's own speed (>= 8x wall-clock and >= 10x fewer
 # allocations per instruction vs the recorded baseline, byte-identical
 # metrics required — see DESIGN.md §10); `make bench-full` asserts the
-# ROADMAP's one-core 65-scenario sweep target; `make bench-obs` regenerates
+# ROADMAP's one-core 68-scenario sweep target; `make bench-obs` regenerates
 # BENCH_obs.json, the tracked overhead record of the execution-tracing
 # layer (untraced runs within 2% of the BENCH_core speed, metrics
 # exports byte-identical with tracing on — see DESIGN.md §12).
@@ -19,9 +19,19 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build test vet race bench bench-metrics bench-runner bench-core bench-obs bench-full alloc-budget sched-order docs diff fuzz scenarios cachebench server-check
+.PHONY: check build test vet race bench bench-metrics bench-runner bench-core bench-obs bench-full alloc-budget sched-order docs diff fuzz scenarios cachebench defense-check server-check
 
-check: vet build race alloc-budget sched-order diff scenarios cachebench docs bench-obs server-check
+check: vet build race alloc-budget sched-order diff scenarios cachebench defense-check docs bench-obs server-check
+
+# Defense-architecture gate (DESIGN.md §14): the mechanism registry is
+# exhaustive (every mechanism addressable and round-tripping through
+# the stack parser), the legacy 11-strategy matrix/sweep renders and
+# canonical spec hashes are byte-identical to the pinned goldens, and
+# the two post-paper mechanisms (recompute, isolate) each close their
+# previously leaking cell at reduced trial counts.
+defense-check:
+	$(GO) test ./internal/defense -count=1
+	$(GO) test ./internal/scenario -run 'TestDefenseMatrixGolden|TestDefenseSweepGolden|TestSpecHashesGolden' -count=1
 
 # Experiment-server gate: build cmd/vpserver, then run the end-to-end
 # suite against an in-process instance — submit→poll→fetch, cache-hit
@@ -115,7 +125,7 @@ bench-core:
 	$(GO) run ./tools/benchcore -o BENCH_core.json
 
 # The ROADMAP's standing one-core target as an executable gate: the
-# full 65-scenario registry sweep (cachebench families excluded) at
+# full 68-scenario registry sweep (cachebench families excluded) at
 # paper-default sample size must finish in single-digit seconds on a
 # single core. Heavyweight, so gated behind VPBENCH_FULL.
 bench-full:
@@ -138,4 +148,4 @@ bench-obs:
 # internal/server actually registers.
 docs: vet
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -l:"; echo "$$out"; exit 1; fi
-	$(GO) run ./tools/doccheck -api docs/SERVER.md:internal/server ./internal/runner ./internal/attacks ./internal/report ./internal/oracle ./internal/progen ./internal/scenario ./internal/obs ./internal/server ./internal/cachebench
+	$(GO) run ./tools/doccheck -api docs/SERVER.md:internal/server ./internal/runner ./internal/attacks ./internal/report ./internal/oracle ./internal/progen ./internal/scenario ./internal/obs ./internal/server ./internal/cachebench ./internal/defense

@@ -182,8 +182,8 @@ func BenchmarkDefenseWindowSweep(b *testing.B) {
 func BenchmarkDefenseMatrix(b *testing.B) {
 	base := attacks.Options{Runs: 20, Seed: 7}
 	strategies := []defense.Strategy{
-		{Name: "none", Cfg: attacks.DefenseConfig{}},
-		{Name: "A+R(9)+D", Cfg: attacks.DefenseConfig{AType: true, RWindow: 9, DType: true}},
+		{Name: "none", Stack: nil},
+		{Name: "A+R(9)+D", Stack: attacks.Stack(attacks.AlwaysPredict(false), attacks.RandomWindow(9), attacks.DelayEffects())},
 	}
 	for i := 0; i < b.N; i++ {
 		cells, err := defense.Matrix(base, strategies)

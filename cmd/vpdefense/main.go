@@ -5,8 +5,11 @@
 //
 //	vpdefense -sweep                 # window sweeps for Train+Test and Test+Hit
 //	vpdefense -matrix                # full strategy x attack matrix
+//	vpdefense -matrix -slowdown      # extended matrix, priced by slowdown
 //	vpdefense -sweep -attack "Fill Up" -maxwindow 6
 //	vpdefense -scenario defense-window-test-hit
+//	vpdefense -list-strategies       # mechanism catalog and named strategies
+//	vpdefense -describe-strategy "A+R(5)+recompute"
 package main
 
 import (
@@ -15,9 +18,11 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"vpsec/cmd/internal/scencli"
+	"vpsec/internal/defense"
 	"vpsec/internal/metrics"
 	"vpsec/internal/scenario"
 )
@@ -26,17 +31,33 @@ func main() {
 	var (
 		doSweep    = flag.Bool("sweep", false, "run R-type window sweeps")
 		doMatrix   = flag.Bool("matrix", false, "run the defense matrix")
+		slowdown   = flag.Bool("slowdown", false, "extend the matrix with recompute/isolate and price every strategy by its slowdown")
 		attackName = flag.String("attack", "", "restrict the sweep to one category")
 		maxWindow  = flag.Int("maxwindow", 10, "largest R-type window to sweep")
 		runs       = flag.Int("runs", scenario.DefaultDefenseRuns(), "trials per case")
 		jobs       = flag.Int("jobs", scenario.DefaultJobs(), "concurrent trials (1 = sequential legacy path; results are identical at any value)")
 		seed       = flag.Int64("seed", scenario.Defaults().Seed, "base RNG seed")
 
+		listStrategies = flag.Bool("list-strategies", false, "print the mechanism catalog and named strategies, then exit")
+		describe       = flag.String("describe-strategy", "", "print the mechanisms a strategy composes, then exit")
+
 		metricsPath  = flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
 		manifestPath = flag.String("manifest", "", "write a run manifest (config, seed, metrics) to this file")
 	)
 	scen := scencli.Register()
 	flag.Parse()
+
+	if *listStrategies {
+		printStrategies(os.Stdout)
+		return
+	}
+	if *describe != "" {
+		if err := describeStrategy(os.Stdout, *describe); err != nil {
+			fmt.Fprintln(os.Stderr, "vpdefense:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	tracer, closeTrace, err := scen.Observe()
 	if err != nil {
@@ -128,7 +149,65 @@ func main() {
 		})
 	}
 	if *doMatrix {
-		run(scenario.Spec{Kind: scenario.KindDefenseMatrix})
+		spec := scenario.Spec{Kind: scenario.KindDefenseMatrix}
+		if *slowdown {
+			spec.Slowdown = true
+			for _, s := range defense.Strategies() {
+				spec.Strategies = append(spec.Strategies, s.Name)
+			}
+			for _, s := range defense.ExtendedStrategies() {
+				spec.Strategies = append(spec.Strategies, s.Name)
+			}
+		}
+		run(spec)
 	}
 	writeObservability()
+}
+
+// printStrategies renders the registered mechanism catalog and the
+// named strategy tables.
+func printStrategies(w *os.File) {
+	fmt.Fprintln(w, "Mechanisms (compose with '+', e.g. -describe-strategy \"A+R(5)+recompute\"):")
+	for _, d := range defense.Mechanisms() {
+		tok := d.Token
+		if d.TakesArg {
+			tok += "(w)"
+		}
+		fmt.Fprintf(w, "  %-10s %-18s %s\n", tok, "["+d.Hooks.String()+"]", d.Summary)
+	}
+	fmt.Fprintln(w, "\nNamed strategies (Sec. VI-B catalog):")
+	for _, s := range defense.Strategies() {
+		fmt.Fprintf(w, "  %-10s stack: %s\n", s.Name, s.Stack)
+	}
+	fmt.Fprintln(w, "\nExtended strategies (post-paper mechanism classes):")
+	for _, s := range defense.ExtendedStrategies() {
+		fmt.Fprintf(w, "  %-10s stack: %s\n", s.Name, s.Stack)
+	}
+}
+
+// describeStrategy resolves a strategy name or stack string and prints
+// the mechanisms it composes, in application order.
+func describeStrategy(w *os.File, name string) error {
+	s, err := defense.StrategyNamed(name)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "strategy %s\n", s.Name)
+	fmt.Fprintf(w, "  stack: %s\n", s.Stack)
+	if len(s.Stack) == 0 {
+		fmt.Fprintln(w, "  no mechanisms (undefended baseline)")
+		return nil
+	}
+	for _, m := range s.Stack {
+		summary := ""
+		base := m.DefenseName()
+		if j := strings.IndexByte(base, '('); j >= 0 {
+			base = base[:j]
+		}
+		if d, ok := defense.MechanismFor(base); ok {
+			summary = d.Summary
+		}
+		fmt.Fprintf(w, "  %-10s %-18s %s\n", m.DefenseName(), "["+m.Hooks().String()+"]", summary)
+	}
+	return nil
 }

@@ -32,9 +32,9 @@ func main() {
 	mitigations := []mitigation{
 		{"no mitigation", func(o *attacks.Options) {}},
 		{"pid-indexed VPS", func(o *attacks.Options) { o.UsePID = true }},
-		{"flush on switch", func(o *attacks.Options) { o.Defense.FlushOnSwitch = true }},
+		{"flush on switch", func(o *attacks.Options) { o.Defense = attacks.Stack(attacks.FlushVPS()) }},
 		{"A+R(9)+D (hw)", func(o *attacks.Options) {
-			o.Defense = attacks.DefenseConfig{AType: true, RWindow: 9, DType: true}
+			o.Defense = attacks.Stack(attacks.AlwaysPredict(false), attacks.RandomWindow(9), attacks.DelayEffects())
 		}},
 	}
 	categories := []core.Category{

@@ -96,7 +96,7 @@ func TestPredictorTypeInfluence(t *testing.T) {
 //   - Train+Hit is prevented by combining A-type and R-type;
 //   - Fill Up and Modify+Test are prevented by R-type.
 func TestDefenseClaims(t *testing.T) {
-	check := func(cat core.Category, ch core.Channel, d DefenseConfig, wantSecure bool, label string) {
+	check := func(cat core.Category, ch core.Channel, d DefenseStack, wantSecure bool, label string) {
 		t.Helper()
 		opt := testOpt(ch, LVP)
 		opt.Runs = 60
@@ -111,16 +111,16 @@ func TestDefenseClaims(t *testing.T) {
 	}
 
 	tw := core.TimingWindow
-	check(core.TrainTest, tw, DefenseConfig{RWindow: 2}, false, "Train+Test R(2)")
-	check(core.TrainTest, tw, DefenseConfig{RWindow: 3}, true, "Train+Test R(3)")
-	check(core.TestHit, tw, DefenseConfig{RWindow: 5}, false, "Test+Hit R(5)")
-	check(core.TestHit, tw, DefenseConfig{RWindow: 9}, true, "Test+Hit R(9)")
-	check(core.TestHit, tw, DefenseConfig{AType: true, AFixedOnly: true, RWindow: 5}, true, "Test+Hit A+R(5)")
-	check(core.SpillOver, tw, DefenseConfig{AType: true, AFixedOnly: true}, true, "Spill Over A(fixed)")
-	check(core.SpillOver, tw, DefenseConfig{AType: true, RWindow: 3}, true, "Spill Over A(hist)+R(3)")
-	check(core.TrainHit, tw, DefenseConfig{AType: true, RWindow: 3}, true, "Train+Hit A+R(3)")
-	check(core.FillUp, tw, DefenseConfig{RWindow: 3}, true, "Fill Up R(3)")
-	check(core.ModifyTest, tw, DefenseConfig{RWindow: 3}, true, "Modify+Test R(3)")
+	check(core.TrainTest, tw, Stack(RandomWindow(2)), false, "Train+Test R(2)")
+	check(core.TrainTest, tw, Stack(RandomWindow(3)), true, "Train+Test R(3)")
+	check(core.TestHit, tw, Stack(RandomWindow(5)), false, "Test+Hit R(5)")
+	check(core.TestHit, tw, Stack(RandomWindow(9)), true, "Test+Hit R(9)")
+	check(core.TestHit, tw, Stack(AlwaysPredict(true), RandomWindow(5)), true, "Test+Hit A+R(5)")
+	check(core.SpillOver, tw, Stack(AlwaysPredict(true)), true, "Spill Over A(fixed)")
+	check(core.SpillOver, tw, Stack(AlwaysPredict(false), RandomWindow(3)), true, "Spill Over A(hist)+R(3)")
+	check(core.TrainHit, tw, Stack(AlwaysPredict(false), RandomWindow(3)), true, "Train+Hit A+R(3)")
+	check(core.FillUp, tw, Stack(RandomWindow(3)), true, "Fill Up R(3)")
+	check(core.ModifyTest, tw, Stack(RandomWindow(3)), true, "Modify+Test R(3)")
 }
 
 // TestDTypeDefendsPersistentOnly reproduces the D-type scoping: it
@@ -128,13 +128,13 @@ func TestDefenseClaims(t *testing.T) {
 func TestDTypeDefendsPersistentOnly(t *testing.T) {
 	for _, cat := range []core.Category{core.TrainTest, core.TestHit, core.FillUp} {
 		opt := testOpt(core.Persistent, LVP)
-		opt.Defense = DefenseConfig{DType: true}
+		opt.Defense = Stack(DelayEffects())
 		r := runCase(t, cat, opt)
 		if r.Effective() {
 			t.Errorf("%v persistent with D-type: p=%.4f, want defended", cat, r.P)
 		}
 		opt = testOpt(core.TimingWindow, LVP)
-		opt.Defense = DefenseConfig{DType: true}
+		opt.Defense = Stack(DelayEffects())
 		r = runCase(t, cat, opt)
 		if !r.Effective() {
 			t.Errorf("%v timing-window with D-type: p=%.4f, D-type should not stop it", cat, r.P)
@@ -240,17 +240,36 @@ func TestKernelAlignment(t *testing.T) {
 	}
 }
 
-func TestDefenseConfigActive(t *testing.T) {
-	if (DefenseConfig{}).Active() {
-		t.Error("zero config should be inactive")
+func TestDefenseStackBasics(t *testing.T) {
+	if (DefenseStack{}).Active() || DefenseStack(nil).Active() {
+		t.Error("empty stack should be inactive")
 	}
-	for _, d := range []DefenseConfig{{AType: true}, {RWindow: 2}, {DType: true}} {
+	if got := DefenseStack(nil).String(); got != "none" {
+		t.Errorf("empty stack String() = %q, want none", got)
+	}
+	for _, d := range []DefenseStack{
+		Stack(AlwaysPredict(false)),
+		Stack(RandomWindow(2)),
+		Stack(DelayEffects()),
+		Stack(Recompute()),
+		Stack(IsolateContexts()),
+	} {
 		if !d.Active() {
-			t.Errorf("%+v should be active", d)
+			t.Errorf("%s should be active", d)
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d, err)
 		}
 	}
-	if (DefenseConfig{RWindow: 1}).Active() {
-		t.Error("window 1 is a no-op and should be inactive")
+	if got := Stack(AlwaysPredict(true), RandomWindow(5), DelayEffects()).String(); got != "A-fixed+R(5)+D" {
+		t.Errorf("stack String() = %q, want A-fixed+R(5)+D", got)
+	}
+	// Stack-level conflicts: duplicate mechanisms, two effects policies.
+	if err := Stack(DelayEffects(), DelayEffects()).Validate(); err == nil {
+		t.Error("duplicate mechanism should fail validation")
+	}
+	if err := Stack(DelayEffects(), Recompute()).Validate(); err == nil {
+		t.Error("two effects policies should fail validation")
 	}
 }
 
@@ -275,7 +294,7 @@ func TestVolatileChannel(t *testing.T) {
 // predicted value, killing the parity gate; D-type only delays cache
 // fills and must NOT stop the volatile channel.
 func TestVolatileDefenseScope(t *testing.T) {
-	check := func(d DefenseConfig, wantSecure bool, label string) {
+	check := func(d DefenseStack, wantSecure bool, label string) {
 		t.Helper()
 		opt := testOpt(core.Volatile, LVP)
 		opt.Runs = 40
@@ -288,9 +307,9 @@ func TestVolatileDefenseScope(t *testing.T) {
 			t.Errorf("%s: volatile attack unexpectedly stopped (p=%.4f)", label, r.P)
 		}
 	}
-	check(DefenseConfig{RWindow: 2}, true, "R(2)")
-	check(DefenseConfig{AType: true, AFixedOnly: true}, true, "A-fixed")
-	check(DefenseConfig{DType: true}, false, "D-type")
+	check(Stack(RandomWindow(2)), true, "R(2)")
+	check(Stack(AlwaysPredict(true)), true, "A-fixed")
+	check(Stack(DelayEffects()), false, "D-type")
 }
 
 // TestMannWhitneyCrossCheck: the nonparametric test reaches the same
@@ -310,7 +329,7 @@ func TestOptionsValidate(t *testing.T) {
 	if _, err := Run(core.TrainTest, Options{Runs: -1}); err == nil {
 		t.Error("negative runs should fail")
 	}
-	if _, err := Run(core.TrainTest, Options{Defense: DefenseConfig{RWindow: -2}}); err == nil {
+	if _, err := Run(core.TrainTest, Options{Defense: Stack(RandomWindow(-2))}); err == nil {
 		t.Error("negative window should fail")
 	}
 }

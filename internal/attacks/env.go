@@ -43,35 +43,16 @@ const (
 	OracleVTAGE PredictorKind = "oracle-vtage"
 )
 
-// DefenseConfig selects the Sec. VI defenses applied to the predictor
-// and pipeline.
-type DefenseConfig struct {
-	AType      bool // always predict (history value, else fixed)
-	AFixedOnly bool // A-type predicts the fixed value unconditionally
-	RWindow    int  // R-type window size S; <= 1 disables
-	DType      bool // delay side-effects until commit
-
-	// FlushOnSwitch models the OS flushing the whole VPS at every
-	// context switch (the partitioning/flushing mitigation class the
-	// paper's Sec. V-B discussion motivates). Unlike pid indexing it
-	// needs no extra tag bits and also stops attackers who can spoof or
-	// share a pid — but the victim retrains from scratch after every
-	// switch, and purely same-process (internal-interference) attacks
-	// are untouched.
-	FlushOnSwitch bool
-}
-
-// Active reports whether any defense is enabled.
-func (d DefenseConfig) Active() bool {
-	return d.AType || d.RWindow > 1 || d.DType || d.FlushOnSwitch
-}
-
 // Options parameterizes one attack evaluation.
 type Options struct {
 	Predictor  PredictorKind
 	Confidence int // the paper's confidence number; 0 means 4
 	Channel    core.Channel
-	Defense    DefenseConfig
+
+	// Defense is the ordered stack of defense mechanisms applied to the
+	// trial (see DefenseStack and the mechanism constructors in
+	// defense.go); nil or empty is the undefended baseline.
+	Defense DefenseStack
 
 	// Runs is the number of independent trials per case (one mapped
 	// and one unmapped trial each, every trial on a fresh machine).
@@ -165,8 +146,8 @@ func (o Options) Validate() error {
 	if o.Runs < 0 || o.Confidence < 0 || o.FPC < 0 || o.TrainIters < 0 {
 		return fmt.Errorf("attacks: negative runs/confidence/fpc/train-iters in %+v", o)
 	}
-	if o.Defense.RWindow < 0 {
-		return fmt.Errorf("attacks: negative R window")
+	if err := o.Defense.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -269,11 +250,16 @@ func (e *env) nextProc() *cpu.Process {
 	return p
 }
 
-// switchTo models the OS scheduler handing the core to pid: with the
-// FlushOnSwitch defense, crossing a process boundary clears the VPS.
+// switchTo models the OS scheduler handing the core to pid: crossing a
+// process boundary runs every context-hook mechanism in the defense
+// stack (flush-on-switch clears the VPS here).
 func (e *env) switchTo(pid uint64) {
-	if e.opt.Defense.FlushOnSwitch && e.lastPID != 0 && e.lastPID != pid {
-		e.m.Pred.Reset()
+	if e.lastPID != 0 && e.lastPID != pid {
+		for _, mech := range e.opt.Defense {
+			if cs, ok := mech.(ContextSwitcher); ok {
+				cs.OnContextSwitch(e.m, e.lastPID, pid)
+			}
+		}
 	}
 	e.lastPID = pid
 }
@@ -378,24 +364,20 @@ func newEnvWith(opt *Options, seed int64, held *trialState) (*env, error) {
 			uint64(attackLoadPC)*cpu.VirtPCBytes,
 			uint64(attackLoadPC+pcSkew)*cpu.VirtPCBytes)
 	}
-	// Defense wrappers: A inside R, so the stack always predicts and
-	// every produced value — including A-type's fallback — is
-	// window-randomized (Sec. VI-B evaluates the combination for
-	// Test+Hit).
-	if opt.Defense.AType {
-		if opt.Defense.AFixedOnly {
-			inner = predictor.NewATypeFixed(inner, 0)
-		} else {
-			inner = predictor.NewAType(inner, 0)
+	// Defense wrappers compose in stack order, first mechanism
+	// innermost: the canonical "A+R(w)" stacks put A inside R, so the
+	// predictor always predicts and every produced value — including
+	// A-type's fallback — is window-randomized (Sec. VI-B evaluates the
+	// combination for Test+Hit).
+	for _, mech := range opt.Defense {
+		if pw, ok := mech.(PredictorWrapper); ok {
+			inner = pw.WrapPredictor(inner, rng)
 		}
 	}
-	if opt.Defense.RWindow > 1 {
-		inner = predictor.NewRType(inner, opt.Defense.RWindow, rng)
-	}
 	cfg := cpu.Config{
-		DelaySideEffects: opt.Defense.DType,
-		RecordConflicts:  true,
-		SelectiveReplay:  opt.Replay,
+		Effects:         opt.Defense.effectsPolicy(),
+		RecordConflicts: true,
+		SelectiveReplay: opt.Replay,
 	}
 	if ts.m != nil {
 		ts.m.Hier.Reset()
@@ -408,6 +390,9 @@ func newEnvWith(opt *Options, seed int64, held *trialState) (*env, error) {
 			return nil, err
 		}
 		ts.m = m
+	}
+	if ct := opt.Defense.tagger(); ct != nil {
+		ts.m.TagFor = ct.ContextTag
 	}
 	ts.m.Hier.NextLinePrefetch = opt.Prefetch
 	ts.m.Noise = opt.Noise

@@ -114,7 +114,7 @@ func TestFlushOnSwitchScopesAttacks(t *testing.T) {
 
 	for _, cat := range crossProcess {
 		opt := testOpt(core.TimingWindow, LVP)
-		opt.Defense.FlushOnSwitch = true
+		opt.Defense = Stack(FlushVPS())
 		r := runCase(t, cat, opt)
 		if r.Effective() {
 			t.Errorf("%v with VPS flush on switch: p=%.4f, want defended", cat, r.P)
@@ -122,7 +122,7 @@ func TestFlushOnSwitchScopesAttacks(t *testing.T) {
 	}
 	for _, cat := range internal {
 		opt := testOpt(core.TimingWindow, LVP)
-		opt.Defense.FlushOnSwitch = true
+		opt.Defense = Stack(FlushVPS())
 		r := runCase(t, cat, opt)
 		if !r.Effective() {
 			t.Errorf("%v with VPS flush on switch: p=%.4f, internal interference should survive", cat, r.P)

@@ -46,8 +46,8 @@ type CaseResult struct {
 }
 
 // Effective reports whether the attack distinguishes the two cases at
-// the paper's significance level.
-func (r CaseResult) Effective() bool { return r.P < 0.05 }
+// the paper's significance level (stats.SignificanceLevel).
+func (r CaseResult) Effective() bool { return r.P < stats.SignificanceLevel }
 
 // Run evaluates one attack category over one channel per opt,
 // executing opt.Runs independent trials of the mapped and unmapped

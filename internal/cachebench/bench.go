@@ -55,8 +55,9 @@ func (o Options) withDefaults() Options {
 }
 
 // SignificanceLevel is the decision threshold both tests must clear
-// for a case to be declared vulnerable (the paper's p < 0.05).
-const SignificanceLevel = 0.05
+// for a case to be declared vulnerable — an alias of the evaluation's
+// shared threshold (stats.SignificanceLevel, the paper's p < 0.05).
+const SignificanceLevel = stats.SignificanceLevel
 
 // CaseResult is one evaluated cell of the vulnerability matrix.
 type CaseResult struct {

@@ -22,6 +22,44 @@ package cpu
 
 import "fmt"
 
+// EffectsPolicy selects when a speculative load's side effects become
+// visible to the memory hierarchy — the knob behind the pipeline-hook
+// defenses of Sec. VI-A.
+type EffectsPolicy int
+
+const (
+	// EffectsImmediate is the undefended baseline: a load installs its
+	// cache line as soon as the access is issued, even if the load is
+	// later squashed (the transient leak the persistent channel needs).
+	EffectsImmediate EffectsPolicy = iota
+
+	// EffectsDelay is the D-type defense (Sec. VI-A): loads leave no
+	// cache state until they commit, so transiently executed loads
+	// cannot encode into the persistent channel. Re-accessing a still-
+	// speculative line pays the full hierarchy latency again.
+	EffectsDelay
+
+	// EffectsRecompute is the value-recomputation defense: like
+	// EffectsDelay the hierarchy stays clean until commit, but
+	// speculative lines are tracked in a shadow buffer (Machine.Shadow)
+	// that serves re-accesses at near-L1 latency, recovering most of the
+	// delay policy's slowdown. A squash clears the shadow, so transient
+	// accesses leave no state anywhere.
+	EffectsRecompute
+)
+
+func (p EffectsPolicy) String() string {
+	switch p {
+	case EffectsImmediate:
+		return "immediate"
+	case EffectsDelay:
+		return "delay"
+	case EffectsRecompute:
+		return "recompute"
+	}
+	return "?"
+}
+
 // Config parameterizes the core.
 type Config struct {
 	FetchWidth  int // instructions renamed per cycle; 0 means 4
@@ -42,10 +80,11 @@ type Config struct {
 
 	MaxCycles uint64 // per-run watchdog; 0 means 20,000,000
 
-	// DelaySideEffects enables the D-type defense (Sec. VI-A): loads
-	// leave no cache state until they commit, so transiently executed
-	// loads cannot encode into the persistent channel.
-	DelaySideEffects bool
+	// Effects selects the speculation-side-effects policy: when loads
+	// may touch the cache hierarchy, and whether speculative lines are
+	// shadow-buffered. The zero value (EffectsImmediate) is the
+	// undefended paper baseline; see EffectsPolicy.
+	Effects EffectsPolicy
 
 	// RecordConflicts keeps a per-cycle series of issue-port conflicts
 	// in RunResult.ConflictSeries — the observation of the volatile
@@ -126,6 +165,9 @@ func (c Config) Validate() error {
 	if c.FetchWidth < 0 || c.IssueWidth < 0 || c.CommitWidth < 0 ||
 		c.ROBSize < 0 || c.MemPorts < 0 || c.MSHRs < 0 || c.MulPorts < 0 {
 		return fmt.Errorf("cpu: negative width in config %+v", c)
+	}
+	if c.Effects < EffectsImmediate || c.Effects > EffectsRecompute {
+		return fmt.Errorf("cpu: unknown effects policy %d", c.Effects)
 	}
 	return nil
 }

@@ -371,12 +371,12 @@ func TestTransientLoadInstallsCacheLine(t *testing.T) {
 	// executes under a value misprediction installs its cache line even
 	// though it is squashed. With the D-type defense the line must NOT
 	// be installed.
-	run := func(delay bool) (wrongPathCached bool, rightPathCached bool) {
+	run := func(effects EffectsPolicy) (wrongPathCached bool, rightPathCached bool) {
 		lvp, err := predictor.NewLVP(predictor.LVPConfig{Confidence: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
-		m, err := NewMachine(Config{DelaySideEffects: delay}, nil, lvp, rand.New(rand.NewSource(1)))
+		m, err := NewMachine(Config{Effects: effects}, nil, lvp, rand.New(rand.NewSource(1)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -437,19 +437,28 @@ func TestTransientLoadInstallsCacheLine(t *testing.T) {
 		return m.Hier.Cached(depBase + 0x40), m.Hier.Cached(depBase + 0x80)
 	}
 
-	wrong, right := run(false)
+	wrong, right := run(EffectsImmediate)
 	if !wrong {
 		t.Error("baseline: transient dependent line was not installed (no persistent channel)")
 	}
 	if !right {
 		t.Error("baseline: architectural dependent line missing")
 	}
-	wrongD, rightD := run(true)
+	wrongD, rightD := run(EffectsDelay)
 	if wrongD {
 		t.Error("D-type: transient line installed despite delay-side-effects")
 	}
 	if !rightD {
 		t.Error("D-type: committed load's line missing (Install at commit broken)")
+	}
+	// The recomputation policy must give the same architectural cache
+	// outcome as D-type: no transient line, committed line installed.
+	wrongR, rightR := run(EffectsRecompute)
+	if wrongR {
+		t.Error("recompute: transient line installed despite shadow buffering")
+	}
+	if !rightR {
+		t.Error("recompute: committed load's line missing (Install at commit broken)")
 	}
 }
 

@@ -34,6 +34,18 @@ type Machine struct {
 	Noise Noise
 	Cycle uint64
 
+	// Shadow is the speculative shadow buffer of the value-recomputation
+	// policy; it is non-nil exactly when Cfg.Effects == EffectsRecompute
+	// (NewMachine and Reset maintain it) and, like the hierarchy, is
+	// shared by SMT threads.
+	Shadow *mem.Shadow
+
+	// TagFor maps a process identifier to its predictor isolation-domain
+	// tag (predictor.Context.Tag). Nil — the default — leaves every
+	// context untagged, reproducing the paper's shared predictor tables.
+	// The context-isolation defense installs a non-zero mapping.
+	TagFor func(pid uint64) uint64
+
 	// Tracer, when non-nil and enabled, records per-instruction
 	// pipeline events (see internal/trace and cmd/vpsim -pipeview).
 	Tracer *trace.Recorder
@@ -116,7 +128,25 @@ func NewMachine(cfg Config, hier *mem.Hierarchy, pred predictor.Predictor, rng *
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
-	return &Machine{Cfg: cfg, Hier: hier, Pred: pred, Rng: rng}, nil
+	m := &Machine{Cfg: cfg, Hier: hier, Pred: pred, Rng: rng}
+	m.ensureShadow()
+	return m, nil
+}
+
+// ensureShadow aligns the shadow buffer with the effects policy: the
+// recomputation policy gets an empty buffer (recycling a pooled one so
+// repeated Resets allocate nothing), every other policy gets nil.
+func (m *Machine) ensureShadow() {
+	if m.Cfg.Effects != EffectsRecompute {
+		m.Shadow = nil
+		return
+	}
+	if m.Shadow == nil {
+		m.Shadow = mem.NewShadow(mem.DefaultShadowEntries, mem.DefaultShadowLatency,
+			m.Hier.L1.Config().LineBytes)
+		return
+	}
+	m.Shadow.Reset()
 }
 
 // Reset re-arms a machine for an independent run with a new
@@ -144,7 +174,9 @@ func (m *Machine) Reset(cfg Config, pred predictor.Predictor, rng *rand.Rand) er
 	m.Cycle = 0
 	m.Tracer = nil
 	m.OnCommit = nil
+	m.TagFor = nil
 	m.metrics = nil
+	m.ensureShadow()
 	return nil
 }
 

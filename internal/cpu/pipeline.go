@@ -267,6 +267,10 @@ type pipeline struct {
 	// 2-bit bimodal direction counters, used when cfg.BimodalBranch.
 	bimodal [512]uint8
 
+	// ctxTag is the running process's predictor isolation-domain tag
+	// (Machine.TagFor applied to the PID at reset); zero when untagged.
+	ctxTag uint64
+
 	// Invariant-check bookkeeping (Config.CheckInvariants).
 	invErr        error
 	lastCommitSeq uint64
@@ -293,6 +297,10 @@ func (p *pipeline) reset(m *Machine, proc *Process) {
 	p.activity = false
 	p.noSkip = m.Cfg.CheckInvariants
 	p.bimodal = [512]uint8{}
+	p.ctxTag = 0
+	if m.TagFor != nil {
+		p.ctxTag = m.TagFor(proc.PID)
+	}
 	p.invErr = nil
 	p.lastCommitSeq, p.committedAny = 0, false
 	p.res = RunResult{}
@@ -312,6 +320,7 @@ func (p *pipeline) ctxFor(e *entry) predictor.Context {
 		Addr:     e.addr,
 		PhysAddr: e.paddr,
 		PID:      p.proc.PID,
+		Tag:      p.ctxTag,
 	}
 }
 
@@ -626,12 +635,20 @@ func (p *pipeline) commit(now uint64) {
 			p.m.Hier.InstallDirty(e.paddr)
 		case isa.FLUSH:
 			p.m.Hier.Flush(e.paddr)
+			if sh := p.m.Shadow; sh != nil {
+				sh.Remove(e.paddr)
+			}
 			if DebugTrace {
 				dbg("%d: commit FLUSH pc=%d paddr=%#x", now, e.pc, e.paddr)
 			}
 		case isa.LOAD:
 			if e.needInstall {
 				p.m.Hier.Install(e.paddr)
+				if sh := p.m.Shadow; sh != nil {
+					// The line is architectural now; later accesses are
+					// ordinary cache traffic.
+					sh.Remove(e.paddr)
+				}
 			}
 		case isa.HALT:
 			p.halted = true
@@ -920,13 +937,33 @@ func (p *pipeline) issueMem(e *entry, idx int, now uint64) (bool, error) {
 		}
 	}
 
+	// Shadow buffer (EffectsRecompute): a line a still-speculative load
+	// already fetched is re-derived near the core instead of re-touching
+	// the hierarchy — near-L1 latency, no cache state, no MSHR, and no
+	// VPS engagement (like any other hit, the value is simply there).
+	if sh := p.m.Shadow; sh != nil && sh.Lookup(e.paddr) {
+		lat := sh.Latency
+		if p.m.Noise.HitJitter > 0 {
+			lat += uint64(p.m.Rng.Int63n(int64(p.m.Noise.HitJitter) + 1))
+		}
+		e.needInstall = true
+		e.actual = p.m.Hier.Mem.Read(e.paddr)
+		e.result = e.actual
+		e.state = stExecuting
+		p.finishAtA[e.slot] = now + lat
+		if DebugTrace {
+			dbg("%d: issue LOAD pc=%d paddr=%#x served=shadow lat=%d", now, e.pc, e.paddr, lat)
+		}
+		return true, nil
+	}
+
 	// Miss-status holding registers: a load that will miss the L1 needs
 	// a free MSHR; with all of them busy it must retry next cycle.
 	if !p.m.Hier.L1.Contains(e.paddr) && p.outstandingMisses() >= p.cfg.MSHRs {
 		return false, nil
 	}
 
-	install := !p.cfg.DelaySideEffects
+	install := p.cfg.Effects == EffectsImmediate
 	lat, served := p.m.Hier.Access(e.paddr, install)
 	if DebugTrace {
 		dbg("%d: issue LOAD pc=%d paddr=%#x served=%v lat=%d", now, e.pc, e.paddr, served, lat)
@@ -936,8 +973,11 @@ func (p *pipeline) issueMem(e *entry, idx int, now uint64) (bool, error) {
 	} else if served != mem.LevelMem && p.m.Noise.HitJitter > 0 {
 		lat += uint64(p.m.Rng.Int63n(int64(p.m.Noise.HitJitter) + 1))
 	}
-	if p.cfg.DelaySideEffects {
+	if !install {
 		e.needInstall = true
+		if sh := p.m.Shadow; sh != nil && served != mem.LevelL1 {
+			sh.Fill(e.paddr)
+		}
 	}
 	e.actual = p.m.Hier.Mem.Read(e.paddr)
 	e.state = stExecuting
@@ -1095,6 +1135,13 @@ func (p *pipeline) squashAfter(idx int, newPC int, stallUntil uint64) {
 		}
 	}
 	p.res.Squashed += uint64(p.rob.len() - idx - 1)
+	// Under recomputation, the squash also erases the speculative shadow
+	// state: whatever the squashed loads fetched evaporates without ever
+	// having touched the hierarchy. (Selective replay keeps side effects
+	// by design and never reaches here.)
+	if sh := p.m.Shadow; sh != nil {
+		sh.Squash()
+	}
 	// Purge the fence list of squashed entries, then vacate each
 	// squashed slot: one mask clear drops it from every scoreboard
 	// (there is no ready list left to purge).

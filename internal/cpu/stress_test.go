@@ -175,33 +175,36 @@ func TestFenceDenseProgram(t *testing.T) {
 	}
 }
 
-// TestDTypeArchitecturallyTransparent: the D-type defense changes only
+// TestEffectsPoliciesArchitecturallyTransparent: the speculation-
+// effects policies (D-type delay, value recomputation) change only
 // cache state timing, never architectural results.
-func TestDTypeArchitecturallyTransparent(t *testing.T) {
-	for seed := int64(1); seed <= 10; seed++ {
-		prog := randomLoopProgram(seed * 7)
-		it := isa.NewInterp(prog)
-		if _, err := it.Run(prog); err != nil {
-			t.Fatal(err)
-		}
-		lvp, err := predictor.NewLVP(predictor.LVPConfig{Confidence: 2})
-		if err != nil {
-			t.Fatal(err)
-		}
-		m, err := NewMachine(Config{DelaySideEffects: true}, nil, lvp, rand.New(rand.NewSource(seed)))
-		if err != nil {
-			t.Fatal(err)
-		}
-		proc, err := m.NewProcess(1, prog, 0)
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := m.Run(proc)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if res.Regs != it.Regs {
-			t.Fatalf("seed %d: D-type run diverged from golden model", seed)
+func TestEffectsPoliciesArchitecturallyTransparent(t *testing.T) {
+	for _, effects := range []EffectsPolicy{EffectsDelay, EffectsRecompute} {
+		for seed := int64(1); seed <= 10; seed++ {
+			prog := randomLoopProgram(seed * 7)
+			it := isa.NewInterp(prog)
+			if _, err := it.Run(prog); err != nil {
+				t.Fatal(err)
+			}
+			lvp, err := predictor.NewLVP(predictor.LVPConfig{Confidence: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := NewMachine(Config{Effects: effects}, nil, lvp, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			proc, err := m.NewProcess(1, prog, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Run(proc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Regs != it.Regs {
+				t.Fatalf("%v seed %d: run diverged from golden model", effects, seed)
+			}
 		}
 	}
 }

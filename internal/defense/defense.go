@@ -1,53 +1,61 @@
-// Package defense evaluates the paper's three defense techniques
-// (Sec. VI): A-type (always predict), R-type (randomly predict within
-// a window), and D-type (delay side-effects). It drives the attack
-// harness across defense configurations to reproduce the Sec. VI-B
-// results — the R-type window sweeps whose minimal secure sizes are 3
-// for Train+Test and 9 for Test+Hit, and the per-attack defense
-// matrix.
+// Package defense evaluates the paper's defense mechanisms (Sec. VI)
+// against the attack taxonomy. The mechanism catalog (mechanism.go)
+// mirrors the predictor factory: every composable mechanism — A-type,
+// R-type, D-type delay, flush-on-switch, value recomputation, context
+// isolation — is a registered descriptor, a Strategy is a named stack
+// of them, and stacks round-trip through the canonical "A+R(5)+D"
+// string syntax. This file drives the attack harness across defense
+// configurations to reproduce the Sec. VI-B results: the R-type window
+// sweeps whose minimal secure sizes are 3 for Train+Test and 9 for
+// Test+Hit, and the per-attack defense matrix — now with per-cell cost
+// (mean trial cycles and slowdown vs the undefended baseline) so
+// security can be weighed against performance.
 package defense
 
 import (
 	"fmt"
+	"slices"
 
 	"vpsec/internal/attacks"
 	"vpsec/internal/core"
+	"vpsec/internal/stats"
 )
 
-// medianP evaluates one case over three disjoint seed ranges and
-// returns the median p-value and success rate. A single Welch test has
-// a 5% false-positive rate under the null hypothesis by construction
-// (p is uniform when the defense works), so sweeping many secure cells
-// would regularly mislabel one; the median of three keeps real attacks
-// (p ≈ 0) detected while dropping the null false-positive rate below
-// 1%.
-func medianP(cat core.Category, opt attacks.Options) (p, success float64, err error) {
-	var ps, ss []float64
+// medianCase evaluates one case over three disjoint seed ranges and
+// returns the median p-value, success rate and mean trial cycles. A
+// single Welch test has a 5% false-positive rate under the null
+// hypothesis by construction (p is uniform when the defense works), so
+// sweeping many secure cells would regularly mislabel one; the median
+// of three keeps real attacks (p ≈ 0) detected while dropping the null
+// false-positive rate below 1%.
+func medianCase(cat core.Category, opt attacks.Options) (p, success, cyc float64, err error) {
+	var ps, ss, cs []float64
 	for i := int64(0); i < 3; i++ {
 		o := opt
 		o.Seed = opt.Seed + i*1_000_003
 		r, err := attacks.Run(cat, o)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 		ps = append(ps, r.P)
 		ss = append(ss, r.SuccessRate)
+		cs = append(cs, r.MeanCyc)
 	}
-	sortThree(ps)
-	sortThree(ss)
-	return ps[1], ss[1], nil
+	return medianOf(ps), medianOf(ss), medianOf(cs), nil
 }
 
-func sortThree(x []float64) {
-	if x[0] > x[1] {
-		x[0], x[1] = x[1], x[0]
+// medianOf returns the median of xs (the mean of the middle pair for
+// even lengths), sorting in place; 0 for an empty slice.
+func medianOf(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
 	}
-	if x[1] > x[2] {
-		x[1], x[2] = x[2], x[1]
+	slices.Sort(xs)
+	if n%2 == 1 {
+		return xs[n/2]
 	}
-	if x[0] > x[1] {
-		x[0], x[1] = x[1], x[0]
-	}
+	return (xs[n/2-1] + xs[n/2]) / 2
 }
 
 // SweepPoint is one R-type window size evaluated against an attack.
@@ -58,10 +66,12 @@ type SweepPoint struct {
 }
 
 // Effective reports whether the attack still works at this window.
-func (s SweepPoint) Effective() bool { return s.P < 0.05 }
+func (s SweepPoint) Effective() bool { return s.P < stats.SignificanceLevel }
 
 // SweepRWindow evaluates windows 1..maxWindow of the R-type defense
-// against one attack category and channel.
+// against one attack category and channel. Any R-type mechanism
+// already in base's stack is replaced by the swept window; every other
+// mechanism is preserved.
 func SweepRWindow(cat core.Category, maxWindow int, base attacks.Options) ([]SweepPoint, error) {
 	if maxWindow < 1 {
 		return nil, fmt.Errorf("defense: maxWindow %d < 1", maxWindow)
@@ -69,8 +79,8 @@ func SweepRWindow(cat core.Category, maxWindow int, base attacks.Options) ([]Swe
 	var out []SweepPoint
 	for w := 1; w <= maxWindow; w++ {
 		opt := base
-		opt.Defense.RWindow = w
-		p, s, err := medianP(cat, opt)
+		opt.Defense = base.Defense.WithRandomWindow(w)
+		p, s, _, err := medianCase(cat, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -97,43 +107,6 @@ func MinimalSecureWindow(points []SweepPoint) int {
 	return min
 }
 
-// Strategy is a named defense configuration evaluated in the matrix.
-type Strategy struct {
-	Name string
-	Cfg  attacks.DefenseConfig
-}
-
-// Strategies returns the configurations Sec. VI-B discusses.
-func Strategies() []Strategy {
-	return []Strategy{
-		{"none", attacks.DefenseConfig{}},
-		{"A", attacks.DefenseConfig{AType: true}},
-		{"A-fixed", attacks.DefenseConfig{AType: true, AFixedOnly: true}},
-		{"R(3)", attacks.DefenseConfig{RWindow: 3}},
-		{"R(5)", attacks.DefenseConfig{RWindow: 5}},
-		{"R(9)", attacks.DefenseConfig{RWindow: 9}},
-		{"D", attacks.DefenseConfig{DType: true}},
-		{"flush", attacks.DefenseConfig{FlushOnSwitch: true}},
-		{"A+R(5)", attacks.DefenseConfig{AType: true, AFixedOnly: true, RWindow: 5}},
-		{"A+R(3)", attacks.DefenseConfig{AType: true, RWindow: 3}},
-		{"A+R(9)+D", attacks.DefenseConfig{AType: true, RWindow: 9, DType: true}},
-	}
-}
-
-// StrategyNamed resolves one of the Strategies by name, so callers
-// (the scenario layer, spec files) can select a configuration without
-// re-spelling it.
-func StrategyNamed(name string) (Strategy, error) {
-	var names []string
-	for _, s := range Strategies() {
-		if s.Name == name {
-			return s, nil
-		}
-		names = append(names, s.Name)
-	}
-	return Strategy{}, fmt.Errorf("defense: unknown strategy %q (strategies: %v)", name, names)
-}
-
 // MatrixCell is one (category, channel, strategy) evaluation.
 type MatrixCell struct {
 	Category core.Category
@@ -141,11 +114,21 @@ type MatrixCell struct {
 	Strategy string
 	P        float64
 	Defended bool
+
+	// MeanCyc is the median (over seed ranges) mean simulated cycles
+	// per trial — the cost side of the security-vs-slowdown trade-off.
+	MeanCyc float64
+
+	// Slowdown is MeanCyc relative to the "none" strategy's cell for
+	// the same category and channel; 0 when the matrix had no baseline
+	// to compare against.
+	Slowdown float64
 }
 
 // Matrix evaluates every attack category and supported channel against
 // every strategy, reproducing the defense-coverage discussion of
-// Sec. VI-B.
+// Sec. VI-B. When the strategy set includes "none", every cell's
+// Slowdown is filled in against that baseline.
 func Matrix(base attacks.Options, strategies []Strategy) ([]MatrixCell, error) {
 	if strategies == nil {
 		strategies = Strategies()
@@ -162,30 +145,41 @@ func Matrix(base attacks.Options, strategies []Strategy) ([]MatrixCell, error) {
 			if !supported {
 				continue
 			}
+			baseCyc := 0.0
+			group := len(out)
 			for _, s := range strategies {
 				opt := base
 				opt.Channel = ch
-				opt.Defense = s.Cfg
-				p, _, err := medianP(cat, opt)
+				opt.Defense = s.Stack
+				p, _, cyc, err := medianCase(cat, opt)
 				if err != nil {
 					return nil, err
+				}
+				if s.Name == "none" {
+					baseCyc = cyc
 				}
 				out = append(out, MatrixCell{
 					Category: cat,
 					Channel:  ch,
 					Strategy: s.Name,
 					P:        p,
-					Defended: p >= 0.05,
+					Defended: p >= stats.SignificanceLevel,
+					MeanCyc:  cyc,
 				})
+			}
+			if baseCyc > 0 {
+				for i := group; i < len(out); i++ {
+					out[i].Slowdown = out[i].MeanCyc / baseCyc
+				}
 			}
 		}
 	}
 	return out, nil
 }
 
-// AllDefended reports whether the combined strategy (last entry of
-// Strategies: A+R+D) defends every cell it was evaluated on —
-// Sec. VI-B: "when all the A-type, D-type, and R-type defenses are
+// AllDefended reports whether the combined strategy (the legacy
+// catalog's last entry, A+R+D) defends every cell it was evaluated on
+// — Sec. VI-B: "when all the A-type, D-type, and R-type defenses are
 // combined, all attacks we have considered can be defended".
 func AllDefended(cells []MatrixCell, strategy string) bool {
 	any := false

@@ -86,9 +86,9 @@ func TestMatrixCombinedDefendsEverything(t *testing.T) {
 func TestMatrixSelectedClaims(t *testing.T) {
 	// A focused subset of Sec. VI-B statements on a 9-cell matrix.
 	strategies := []Strategy{
-		{"R(3)", attacks.DefenseConfig{RWindow: 3}},
-		{"A-fixed", attacks.DefenseConfig{AType: true, AFixedOnly: true}},
-		{"D", attacks.DefenseConfig{DType: true}},
+		{"R(3)", attacks.Stack(attacks.RandomWindow(3))},
+		{"A-fixed", attacks.Stack(attacks.AlwaysPredict(true))},
+		{"D", attacks.Stack(attacks.DelayEffects())},
 	}
 	opt := baseOpt()
 	opt.Runs = 40
@@ -129,7 +129,7 @@ func TestMatrixFlushOnSwitchScope(t *testing.T) {
 	// process triggers, but internal-interference attacks never cross a
 	// switch.
 	strategies := []Strategy{
-		{"flush", attacks.DefenseConfig{FlushOnSwitch: true}},
+		{"flush", attacks.Stack(attacks.FlushVPS())},
 	}
 	opt := baseOpt()
 	opt.Runs = 40

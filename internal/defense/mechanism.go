@@ -1,0 +1,169 @@
+package defense
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"vpsec/internal/attacks"
+)
+
+// Descriptor is one registered defense mechanism: the canonical token
+// strategy strings are built from, the hook classes it engages, and a
+// constructor. The catalog mirrors the predictor factory
+// (predictor.Register): a new mechanism registers itself here and
+// becomes addressable from strategy strings, spec files and the CLI
+// without touching the harness wiring.
+type Descriptor struct {
+	// Token is the mechanism's canonical token, e.g. "A" or
+	// "recompute". For parameterized mechanisms it is the bare name; the
+	// rendered form carries the argument, e.g. "R(5)".
+	Token string
+
+	// TakesArg marks a parameterized mechanism (token "R" renders and
+	// parses as "R(w)").
+	TakesArg bool
+
+	// Hooks is the hook-class bitmask of the built mechanism.
+	Hooks attacks.DefenseHooks
+
+	// Summary is the one-line description shown by vpdefense
+	// -list-strategies and -describe-strategy.
+	Summary string
+
+	// Build constructs the mechanism; arg is meaningful only when
+	// TakesArg is set.
+	Build func(arg int) attacks.Mechanism
+}
+
+var (
+	descMu      sync.RWMutex
+	descriptors = map[string]Descriptor{}
+)
+
+// RegisterMechanism adds a descriptor to the catalog. Like the
+// predictor registry, duplicate tokens panic: two mechanisms claiming
+// one token is a wiring bug.
+func RegisterMechanism(d Descriptor) {
+	descMu.Lock()
+	defer descMu.Unlock()
+	if _, dup := descriptors[d.Token]; dup {
+		panic(fmt.Sprintf("defense: duplicate mechanism token %q", d.Token))
+	}
+	descriptors[d.Token] = d
+}
+
+// Mechanisms lists the registered descriptors sorted by token.
+func Mechanisms() []Descriptor {
+	descMu.RLock()
+	defer descMu.RUnlock()
+	out := make([]Descriptor, 0, len(descriptors))
+	for _, d := range descriptors {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Token < out[j].Token })
+	return out
+}
+
+// MechanismFor resolves a descriptor by token.
+func MechanismFor(token string) (Descriptor, bool) {
+	descMu.RLock()
+	defer descMu.RUnlock()
+	d, ok := descriptors[token]
+	return d, ok
+}
+
+func init() {
+	RegisterMechanism(Descriptor{
+		Token: "A", Hooks: attacks.HookPredictor,
+		Summary: "A-type: always predict, from the history value (Sec. VI-A)",
+		Build:   func(int) attacks.Mechanism { return attacks.AlwaysPredict(false) },
+	})
+	RegisterMechanism(Descriptor{
+		Token: "A-fixed", Hooks: attacks.HookPredictor,
+		Summary: "A-type, fixed flavor: always predict a fixed value (Sec. VI-A)",
+		Build:   func(int) attacks.Mechanism { return attacks.AlwaysPredict(true) },
+	})
+	RegisterMechanism(Descriptor{
+		Token: "R", TakesArg: true, Hooks: attacks.HookPredictor,
+		Summary: "R-type: predict within a random window W, P(correct)=1/W (Sec. VI-A)",
+		Build:   func(w int) attacks.Mechanism { return attacks.RandomWindow(w) },
+	})
+	RegisterMechanism(Descriptor{
+		Token: "D", Hooks: attacks.HookPipeline,
+		Summary: "D-type: delay speculative cache fills until commit (Sec. VI-A)",
+		Build:   func(int) attacks.Mechanism { return attacks.DelayEffects() },
+	})
+	RegisterMechanism(Descriptor{
+		Token: "flush", Hooks: attacks.HookContext,
+		Summary: "flush the whole VPS at every context switch (Sec. VI-B)",
+		Build:   func(int) attacks.Mechanism { return attacks.FlushVPS() },
+	})
+	RegisterMechanism(Descriptor{
+		Token: "recompute", Hooks: attacks.HookPipeline,
+		Summary: "value recomputation: shadow-buffer speculative lines, install at commit",
+		Build:   func(int) attacks.Mechanism { return attacks.Recompute() },
+	})
+	RegisterMechanism(Descriptor{
+		Token: "isolate", Hooks: attacks.HookContext,
+		Summary: "context-tagged predictor isolation: per-process tag partitions VPS state",
+		Build:   func(int) attacks.Mechanism { return attacks.IsolateContexts() },
+	})
+
+	// The JSON codec for attacks.DefenseStack decodes canonical stack
+	// strings through this parser (the hook breaks what would otherwise
+	// be an attacks → defense import cycle).
+	attacks.RegisterStackParser(ParseStack)
+}
+
+// ParseStack parses the canonical stack syntax: mechanism tokens
+// joined with "+", parameterized tokens carrying their argument in
+// parentheses — "A+R(5)+recompute". "none" (or the empty string) is
+// the empty stack and composes with nothing.
+func ParseStack(s string) (attacks.DefenseStack, error) {
+	if s == "" || s == "none" {
+		return nil, nil
+	}
+	var stack attacks.DefenseStack
+	for _, tok := range strings.Split(s, "+") {
+		tok = strings.TrimSpace(tok)
+		name, arg := tok, 0
+		hasArg := false
+		if i := strings.IndexByte(tok, '('); i >= 0 {
+			if !strings.HasSuffix(tok, ")") {
+				return nil, fmt.Errorf("defense: malformed mechanism token %q", tok)
+			}
+			n, err := strconv.Atoi(tok[i+1 : len(tok)-1])
+			if err != nil {
+				return nil, fmt.Errorf("defense: bad argument in %q: %v", tok, err)
+			}
+			name, arg, hasArg = tok[:i], n, true
+		}
+		d, ok := MechanismFor(name)
+		if !ok {
+			return nil, fmt.Errorf("defense: unknown mechanism %q (mechanisms: %s)", name, tokenList())
+		}
+		if d.TakesArg != hasArg {
+			if d.TakesArg {
+				return nil, fmt.Errorf("defense: mechanism %q needs an argument, e.g. %s(5)", name, name)
+			}
+			return nil, fmt.Errorf("defense: mechanism %q takes no argument", name)
+		}
+		stack = append(stack, d.Build(arg))
+	}
+	if err := stack.Validate(); err != nil {
+		return nil, err
+	}
+	return stack, nil
+}
+
+// tokenList renders the registered tokens for error messages.
+func tokenList() string {
+	var toks []string
+	for _, d := range Mechanisms() {
+		toks = append(toks, d.Token)
+	}
+	return strings.Join(toks, ", ")
+}

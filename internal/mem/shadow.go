@@ -1,0 +1,119 @@
+package mem
+
+// Shadow is the speculative shadow buffer of the value-recomputation
+// defense (Sakalis et al., "On Value Recomputation to Accelerate
+// Invisible Speculation"): while a load is speculative its line is
+// tracked here instead of being installed into the cache hierarchy, so
+// repeated speculative accesses are re-derived at near-L1 latency
+// without leaving any cache state a receiver could probe. Lines become
+// architectural (installed, and removed from the shadow) only at
+// commit; a pipeline squash clears the whole buffer, so transiently
+// executed loads evaporate without a trace.
+//
+// The buffer is deliberately tiny and fully associative with FIFO
+// replacement — the per-core SpecBuffer shape of the invisible-
+// speculation literature. Determinism contract: every operation is a
+// pure function of the access sequence (no randomized replacement), so
+// trials remain byte-identical at any worker count.
+type Shadow struct {
+	// Latency is the service latency of a shadow hit, charged in place
+	// of a hierarchy access.
+	Latency uint64
+
+	// Hits, Fills and Squashes count shadow serves, line insertions and
+	// whole-buffer squash clears, for tests and diagnostics.
+	Hits     uint64
+	Fills    uint64
+	Squashes uint64
+
+	lineMask uint64
+	lines    []uint64 // FIFO of line base addresses; index 0 is oldest
+	capacity int
+}
+
+// DefaultShadowEntries is the default shadow-buffer capacity in lines,
+// sized like a load-queue-adjacent speculative buffer.
+const DefaultShadowEntries = 16
+
+// DefaultShadowLatency is the default shadow-hit latency: the line's
+// value is re-derived next to the core, so it costs about an L1 hit.
+const DefaultShadowLatency = 3
+
+// NewShadow builds a shadow buffer holding up to entries lines of
+// lineBytes (which must be a power of two) served at latency cycles.
+func NewShadow(entries int, latency uint64, lineBytes uint64) *Shadow {
+	if entries < 1 {
+		entries = DefaultShadowEntries
+	}
+	if lineBytes == 0 || lineBytes&(lineBytes-1) != 0 {
+		lineBytes = 64
+	}
+	return &Shadow{
+		Latency:  latency,
+		lineMask: ^(lineBytes - 1),
+		lines:    make([]uint64, 0, entries),
+		capacity: entries,
+	}
+}
+
+// Lookup reports whether addr's line is tracked, counting a hit. It
+// never reorders the FIFO, so a retried issue (e.g. after an MSHR
+// stall) observes the same state.
+func (s *Shadow) Lookup(addr uint64) bool {
+	line := addr & s.lineMask
+	for _, l := range s.lines {
+		if l == line {
+			s.Hits++
+			return true
+		}
+	}
+	return false
+}
+
+// Fill tracks addr's line, evicting the oldest line once the buffer is
+// full. Re-filling a tracked line is a no-op (the line keeps its FIFO
+// position).
+func (s *Shadow) Fill(addr uint64) {
+	line := addr & s.lineMask
+	for _, l := range s.lines {
+		if l == line {
+			return
+		}
+	}
+	if len(s.lines) == s.capacity {
+		copy(s.lines, s.lines[1:])
+		s.lines = s.lines[:len(s.lines)-1]
+	}
+	s.lines = append(s.lines, line)
+	s.Fills++
+}
+
+// Remove drops addr's line: the pipeline calls it when the line
+// becomes architectural (installed at commit) or is explicitly flushed.
+func (s *Shadow) Remove(addr uint64) {
+	line := addr & s.lineMask
+	for i, l := range s.lines {
+		if l == line {
+			copy(s.lines[i:], s.lines[i+1:])
+			s.lines = s.lines[:len(s.lines)-1]
+			return
+		}
+	}
+}
+
+// Squash empties the buffer — the speculative state a pipeline squash
+// erases — and counts the clear.
+func (s *Shadow) Squash() {
+	s.lines = s.lines[:0]
+	s.Squashes++
+}
+
+// Len reports how many lines are tracked.
+func (s *Shadow) Len() int { return len(s.lines) }
+
+// Reset restores the as-new state (empty buffer, zero counters),
+// keeping the line storage for reuse across pooled trials.
+func (s *Shadow) Reset() {
+	s.lines = s.lines[:0]
+	s.Hits, s.Fills, s.Squashes = 0, 0, 0
+}

@@ -1,0 +1,69 @@
+package mem
+
+import "testing"
+
+func TestShadowLookupFillRemove(t *testing.T) {
+	s := NewShadow(4, 3, 64)
+	if s.Latency != 3 {
+		t.Fatalf("latency = %d, want 3", s.Latency)
+	}
+	if s.Lookup(0x100) {
+		t.Error("empty shadow should miss")
+	}
+	s.Fill(0x100)
+	s.Fill(0x13f) // same 64-byte line
+	if s.Len() != 1 {
+		t.Errorf("same-line fills should dedup, len = %d", s.Len())
+	}
+	if !s.Lookup(0x120) || s.Hits != 1 {
+		t.Errorf("line-mate lookup should hit (hits = %d)", s.Hits)
+	}
+	s.Remove(0x100)
+	if s.Lookup(0x100) {
+		t.Error("removed line should miss")
+	}
+}
+
+func TestShadowFIFOEviction(t *testing.T) {
+	s := NewShadow(2, 1, 64)
+	s.Fill(0x000)
+	s.Fill(0x040)
+	s.Fill(0x080) // evicts 0x000, the oldest
+	if s.Lookup(0x000) {
+		t.Error("oldest line should have been evicted")
+	}
+	if !s.Lookup(0x040) || !s.Lookup(0x080) {
+		t.Error("younger lines should survive")
+	}
+}
+
+func TestShadowSquashAndReset(t *testing.T) {
+	s := NewShadow(4, 1, 64)
+	s.Fill(0x40)
+	s.Squash()
+	if s.Len() != 0 || s.Squashes != 1 {
+		t.Errorf("squash: len=%d squashes=%d", s.Len(), s.Squashes)
+	}
+	s.Fill(0x40)
+	s.Lookup(0x40)
+	s.Reset()
+	if s.Len() != 0 || s.Hits != 0 || s.Fills != 0 || s.Squashes != 0 {
+		t.Errorf("reset should empty the buffer and zero counters: %+v", s)
+	}
+}
+
+func TestShadowDefaults(t *testing.T) {
+	s := NewShadow(0, DefaultShadowLatency, 0)
+	for i := 0; i < DefaultShadowEntries+1; i++ {
+		s.Fill(uint64(i) * 64)
+	}
+	if s.Len() != DefaultShadowEntries {
+		t.Errorf("capacity default = %d, want %d", s.Len(), DefaultShadowEntries)
+	}
+	// Non-power-of-two line sizes fall back to 64 bytes.
+	s2 := NewShadow(1, 1, 48)
+	s2.Fill(0x00)
+	if !s2.Lookup(0x3f) {
+		t.Error("fallback 64-byte line should cover 0x3f")
+	}
+}

@@ -62,11 +62,12 @@ func Specs() []Spec {
 		{Name: "base-none", Cfg: cpu.Config{}, Pred: nil, Seed: 1},
 		{Name: "lvp-squash", Cfg: cpu.Config{}, Pred: lvp, Seed: 2},
 		{Name: "lvp-replay", Cfg: cpu.Config{SelectiveReplay: true}, Pred: lvp, Seed: 3},
-		{Name: "stride-delay", Cfg: cpu.Config{DelaySideEffects: true}, Pred: stride, Seed: 4},
+		{Name: "stride-delay", Cfg: cpu.Config{Effects: cpu.EffectsDelay}, Pred: stride, Seed: 4},
 		{Name: "fcm-bimodal", Cfg: cpu.Config{BimodalBranch: true}, Pred: fcm, Seed: 5},
 		{Name: "addr-lvp-replay-bimodal", Cfg: cpu.Config{SelectiveReplay: true, BimodalBranch: true}, Pred: addrLVP, Seed: 6},
 		{Name: "tiny-core", Cfg: cpu.Config{FetchWidth: 1, IssueWidth: 1, CommitWidth: 1, ROBSize: 8, MemPorts: 1, MSHRs: 1}, Pred: lvp, Seed: 7},
 		{Name: "lvp-noise", Cfg: cpu.Config{SelectiveReplay: true}, Pred: lvp, Noise: cpu.Noise{MemJitter: 13, HitJitter: 2}, Seed: 8},
+		{Name: "lvp-recompute", Cfg: cpu.Config{Effects: cpu.EffectsRecompute}, Pred: lvp, Seed: 9},
 	}
 }
 

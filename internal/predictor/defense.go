@@ -15,7 +15,7 @@ import "math/rand"
 //     and Modify+Test.
 //   - D-type ("delay side-effects") is not a predictor transformation:
 //     it delays speculative cache fills until verification and is
-//     implemented in the pipeline (internal/cpu, DelaySideEffects),
+//     implemented in the pipeline (internal/cpu, EffectsPolicy),
 //     defeating persistent-channel variants only.
 
 // LastValuer is implemented by predictors that can expose their stored

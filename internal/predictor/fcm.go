@@ -90,7 +90,7 @@ func NewFCM(cfg FCMConfig) (*FCM, error) {
 func (p *FCM) Name() string { return "fcm" }
 
 func (p *FCM) hash(k key, vals []uint64) uint64 {
-	h := k.idx*0x9e3779b97f4a7c15 ^ k.pid<<32
+	h := k.idx*0x9e3779b97f4a7c15 ^ k.pid<<32 ^ k.tag
 	for _, v := range vals {
 		h ^= v + 0x9e3779b97f4a7c15 + h<<6 + h>>2
 	}

@@ -49,6 +49,14 @@ type Context struct {
 	Addr     uint64 // virtual data address being loaded
 	PhysAddr uint64 // physical data address (ByPhysAddr schemes)
 	PID      uint64 // process identifier, used only if the scheme asks
+
+	// Tag is the isolation-domain tag of the running context (the
+	// context-tagged predictor-isolation defense, generalizing the
+	// paper's Sec. V-B pid-indexing): a non-zero tag partitions every
+	// predictor's state by domain, so entries trained in one domain are
+	// invisible to loads from another. Zero — the default — leaves
+	// indexing exactly as the paper models it.
+	Tag uint64
 }
 
 // Prediction is the outcome of consulting the VPS.
@@ -103,10 +111,14 @@ type Predictor interface {
 	Name() string
 }
 
-// key identifies a VPS entry.
+// key identifies a VPS entry. The tag component carries the
+// context-isolation domain (Context.Tag): it is always part of the key,
+// so a zero tag reproduces the paper's shared tables bit-for-bit while
+// a tagged machine partitions every entry by domain.
 type key struct {
 	idx uint64
 	pid uint64
+	tag uint64
 }
 
 func makeKey(scheme IndexScheme, usePID bool, ctx Context) key {
@@ -124,5 +136,6 @@ func makeKey(scheme IndexScheme, usePID bool, ctx Context) key {
 	if usePID {
 		k.pid = ctx.PID
 	}
+	k.tag = ctx.Tag
 	return k
 }

@@ -139,7 +139,7 @@ func (v *VTAGE) foldHistory(bits int) uint64 {
 
 func (v *VTAGE) index(comp int, ctx Context) int {
 	h := v.foldHistory(v.hists[comp])
-	x := ctx.PC ^ h<<7 ^ h>>3
+	x := ctx.PC ^ h<<7 ^ h>>3 ^ ctx.Tag
 	if v.cfg.UsePID {
 		x ^= ctx.PID << 17
 	}
@@ -152,7 +152,7 @@ func (v *VTAGE) index(comp int, ctx Context) int {
 
 func (v *VTAGE) tag(comp int, ctx Context) uint64 {
 	h := v.foldHistory(v.hists[comp])
-	x := ctx.PC ^ h<<3 ^ uint64(comp)<<11
+	x := ctx.PC ^ h<<3 ^ uint64(comp)<<11 ^ ctx.Tag
 	if v.cfg.UsePID {
 		x ^= ctx.PID << 23
 	}

@@ -1,0 +1,77 @@
+package predictor
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// WrapConfig parameterizes a registered defense wrapper.
+type WrapConfig struct {
+	// Window is the R-type window size S (P(correct) = 1/S); ignored by
+	// wrappers that take no window.
+	Window int
+	// Fixed is the A-type fallback value.
+	Fixed uint64
+	// Rng seeds randomized wrappers (R-type); reproducibility requires
+	// the caller to pass the trial's RNG.
+	Rng *rand.Rand
+}
+
+// WrapperFunc builds a defense wrapper around an inner predictor.
+type WrapperFunc func(inner Predictor, cfg WrapConfig) Predictor
+
+var (
+	wrapperMu sync.RWMutex
+	wrappers  = map[string]WrapperFunc{}
+)
+
+// RegisterWrapper adds a named defense-wrapper constructor to the
+// registry, mirroring Register for base predictors. The defense layer
+// resolves its predictor-hook mechanisms through this table, so a new
+// wrapper becomes addressable without touching the harness wiring.
+// Duplicate names panic (a wiring bug, like duplicate base kinds).
+func RegisterWrapper(name string, fn WrapperFunc) {
+	wrapperMu.Lock()
+	defer wrapperMu.Unlock()
+	if _, dup := wrappers[name]; dup {
+		panic(fmt.Sprintf("predictor: duplicate wrapper %q", name))
+	}
+	wrappers[name] = fn
+}
+
+// NewWrapper builds the named wrapper around inner.
+func NewWrapper(name string, inner Predictor, cfg WrapConfig) (Predictor, error) {
+	wrapperMu.RLock()
+	fn, ok := wrappers[name]
+	wrapperMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("predictor: unknown wrapper %q (wrappers: %v)", name, WrapperNames())
+	}
+	return fn(inner, cfg), nil
+}
+
+// WrapperNames lists the registered wrapper names, sorted.
+func WrapperNames() []string {
+	wrapperMu.RLock()
+	defer wrapperMu.RUnlock()
+	names := make([]string, 0, len(wrappers))
+	for n := range wrappers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterWrapper("a-type", func(inner Predictor, cfg WrapConfig) Predictor {
+		return NewAType(inner, cfg.Fixed)
+	})
+	RegisterWrapper("a-type-fixed", func(inner Predictor, cfg WrapConfig) Predictor {
+		return NewATypeFixed(inner, cfg.Fixed)
+	})
+	RegisterWrapper("r-type", func(inner Predictor, cfg WrapConfig) Predictor {
+		return NewRType(inner, cfg.Window, cfg.Rng)
+	})
+}

@@ -259,8 +259,18 @@ func Generate(cfg Config, now time.Time) (*Report, error) {
 			}
 		}
 
+		// The matrix runs the extended catalog — the Sec. VI-B strategies
+		// plus value recomputation and context isolation — with per-trial
+		// cycle counts, so every row is priced by its slowdown.
 		m := cfg.spec(scenario.KindDefenseMatrix)
 		m.Runs = cfg.DefenseRuns
+		m.Slowdown = true
+		for _, s := range defense.Strategies() {
+			m.Strategies = append(m.Strategies, s.Name)
+		}
+		for _, s := range defense.ExtendedStrategies() {
+			m.Strategies = append(m.Strategies, s.Name)
+		}
 		mres, err := execute(m)
 		if err != nil {
 			return nil, err
@@ -468,9 +478,48 @@ func (r *Report) Markdown() string {
 	}
 	if len(r.DefenseMatrix) > 0 {
 		fmt.Fprintf(&b, "\n## Defense matrix\n\nCombined A+R+D defends all attacks: %v\n\n", r.CombinedDefends)
-		fmt.Fprintf(&b, "| category | channel | strategy | p | defended |\n|---|---|---|---|---|\n")
+		fmt.Fprintf(&b, "| category | channel | strategy | p | defended | slowdown |\n|---|---|---|---|---|---|\n")
 		for _, c := range r.DefenseMatrix {
-			fmt.Fprintf(&b, "| %s | %s | %s | %.4f | %v |\n", c.Category, c.Channel, c.Strategy, c.P, c.Defended)
+			slow := "—"
+			if c.Slowdown > 0 {
+				slow = fmt.Sprintf("%.2fx", c.Slowdown)
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %.4f | %v | %s |\n", c.Category, c.Channel, c.Strategy, c.P, c.Defended, slow)
+		}
+
+		// Security vs slowdown: one row per strategy, cells defended
+		// against mean cost over the undefended baseline.
+		type agg struct {
+			defended, total int
+			slow            float64
+			slowN           int
+		}
+		var order []string
+		sums := map[string]*agg{}
+		for _, c := range r.DefenseMatrix {
+			a := sums[c.Strategy]
+			if a == nil {
+				a = &agg{}
+				sums[c.Strategy] = a
+				order = append(order, c.Strategy)
+			}
+			a.total++
+			if c.Defended {
+				a.defended++
+			}
+			if c.Slowdown > 0 {
+				a.slow += c.Slowdown
+				a.slowN++
+			}
+		}
+		fmt.Fprintf(&b, "\n### Security vs slowdown\n\n| strategy | defended | mean slowdown |\n|---|---|---|\n")
+		for _, name := range order {
+			a := sums[name]
+			slow := "—"
+			if a.slowN > 0 {
+				slow = fmt.Sprintf("%.2fx", a.slow/float64(a.slowN))
+			}
+			fmt.Fprintf(&b, "| %s | %d/%d | %s |\n", name, a.defended, a.total, slow)
 		}
 	}
 

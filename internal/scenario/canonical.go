@@ -55,7 +55,7 @@ func (s Spec) Canonical() Spec {
 		c.UsePID, c.Prefetch, c.Replay, c.ResetModify = false, false, false, false
 		c.FPC, c.TrainIters, c.NoSyncCost = 0, 0, false
 		c.Jitters, c.Confidences = nil, nil
-		c.MaxWindow, c.Strategies = 0, nil
+		c.MaxWindow, c.Strategies, c.Slowdown = 0, nil, false
 		c.Program, c.Scheme = "", ""
 		return c
 	}
@@ -80,7 +80,7 @@ func (s Spec) Canonical() Spec {
 		c.UsePID, c.Prefetch, c.Replay, c.ResetModify = false, false, false, false
 		c.FPC, c.TrainIters, c.NoSyncCost = 0, 0, false
 		c.MemJitter, c.Jitters, c.Confidences = nil, nil, nil
-		c.MaxWindow, c.Strategies = 0, nil
+		c.MaxWindow, c.Strategies, c.Slowdown = 0, nil, false
 		c.Pattern, c.Patterns = "", nil
 		return c
 	}
@@ -101,6 +101,11 @@ func (s Spec) Canonical() Spec {
 	}
 	if c.Defense != nil && *c.Defense == (DefenseSpec{}) {
 		c.Defense = nil
+	}
+	if c.Kind != KindDefenseMatrix {
+		// Only the matrix renders the slowdown section; every other kind
+		// ignores the knob.
+		c.Slowdown = false
 	}
 
 	switch c.Kind {

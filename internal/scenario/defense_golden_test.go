@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// reducedDefenseSpec returns a registered defense scenario shrunk to
+// golden-pin size: few runs, one worker. The golden files under
+// testdata were generated against the pre-registry DefenseConfig
+// implementation, so these tests are the byte-identity contract the
+// defense-mechanism refactor must satisfy for the legacy strategies.
+func reducedDefenseSpec(t *testing.T, name string, runs int) Spec {
+	t.Helper()
+	s, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("%s not registered", name)
+	}
+	s.Runs = runs
+	s.Jobs = 1
+	return s
+}
+
+func renderSpec(t *testing.T, s Spec) []byte {
+	t.Helper()
+	res, err := Execute(context.Background(), s)
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	var b bytes.Buffer
+	if err := res.Render(&b, RenderOptions{}); err != nil {
+		t.Fatalf("%s render: %v", s.Name, err)
+	}
+	return b.Bytes()
+}
+
+func checkGolden(t *testing.T, golden string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/scenario -update` to regenerate)", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("output drifted from %s (legacy defense behavior must stay byte-identical; run `go test ./internal/scenario -update` only for a deliberate change):\n%s", golden, got)
+	}
+}
+
+// TestDefenseMatrixGolden pins the full legacy-strategy defense matrix
+// render (every registered strategy vs every attack/channel cell) at
+// reduced runs. The refactor from DefenseConfig booleans to mechanism
+// stacks must not move a single byte of this output.
+func TestDefenseMatrixGolden(t *testing.T) {
+	s := reducedDefenseSpec(t, "defense-matrix", 10)
+	got := renderSpec(t, s)
+	checkGolden(t, filepath.Join("testdata", "defense-matrix.golden"), got)
+}
+
+// TestDefenseSweepGolden pins the two-category R-type window sweep
+// render at reduced runs: the R-type wrapper's RNG draw order is
+// shared with the machine noise model, so any change to wrapper
+// construction order shows up here immediately.
+func TestDefenseSweepGolden(t *testing.T) {
+	s := reducedDefenseSpec(t, "defense-window", 10)
+	got := renderSpec(t, s)
+	checkGolden(t, filepath.Join("testdata", "defense-window.golden"), got)
+}
+
+// TestSpecHashesGolden pins the canonical content hash of every
+// registered scenario. The server's result cache is keyed on these
+// hashes; a drift here silently invalidates every cached result, so
+// refactors must keep canonicalization byte-stable for existing specs.
+func TestSpecHashesGolden(t *testing.T) {
+	var b bytes.Buffer
+	for _, s := range All() {
+		fmt.Fprintf(&b, "%s %s\n", s.Hash(), s.Name)
+	}
+	checkGolden(t, filepath.Join("testdata", "spec-hashes.golden"), b.Bytes())
+}

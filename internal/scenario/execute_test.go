@@ -121,7 +121,7 @@ func TestExecuteSMTMatches(t *testing.T) {
 }
 
 // TestExecuteDefenseMatchesStrategy: a named-strategy defense spec
-// compiles to the same DefenseConfig the defense package uses.
+// compiles to the same DefenseStack the defense package uses.
 func TestExecuteDefenseMatchesStrategy(t *testing.T) {
 	spec := Spec{Kind: KindCase, Category: string(core.TestHit), Runs: small, Seed: 9,
 		Defense: &DefenseSpec{Strategy: "A+R(9)+D"}}
@@ -133,7 +133,7 @@ func TestExecuteDefenseMatchesStrategy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := attacks.Run(core.TestHit, attacks.Options{Runs: small, Seed: 9, Defense: st.Cfg})
+	want, err := attacks.Run(core.TestHit, attacks.Options{Runs: small, Seed: 9, Defense: st.Stack})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +291,7 @@ func TestRegisteredScenariosExecute(t *testing.T) {
 
 // TestRegistrySweepWallClock is the ROADMAP's standing performance
 // target as an executable gate: the full registry sweep — every
-// registered scenario except the cachebench families, 65 specs — at
+// registered scenario except the cachebench families, 68 specs — at
 // paper-default sample size (Runs=100) on ONE core must finish in
 // single-digit seconds. Gated behind VPBENCH_FULL because it runs the
 // real workload (~10⁷ simulated instructions); `make bench-full` sets
@@ -319,8 +319,8 @@ func TestRegistrySweepWallClock(t *testing.T) {
 	}
 	elapsed := time.Since(start)
 	t.Logf("registry sweep: %d scenarios at paper defaults in %.2fs on one core", len(specs), elapsed.Seconds())
-	if len(specs) != 65 {
-		t.Errorf("registry holds %d non-cachebench scenarios, want 65 (update the ROADMAP target and this gate together)", len(specs))
+	if len(specs) != 68 {
+		t.Errorf("registry holds %d non-cachebench scenarios, want 68 (update the ROADMAP target and this gate together)", len(specs))
 	}
 	if elapsed >= 10*time.Second {
 		t.Errorf("one-core registry sweep took %.2fs, target single-digit seconds", elapsed.Seconds())

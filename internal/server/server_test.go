@@ -565,7 +565,7 @@ func TestBatchShrunkRegistry(t *testing.T) {
 
 // TestBatchFullRegistry is the acceptance run: the full registry at
 // paper defaults, batched once cold and once hot. It runs only under
-// VPSERVER_FULL=1 (make server-check) — the 65 attack scenarios cost
+// VPSERVER_FULL=1 (make server-check) — the 68 attack scenarios cost
 // roughly 15s of simulation on one core, and the 978 cachebench
 // entries a few seconds more.
 func TestBatchFullRegistry(t *testing.T) {

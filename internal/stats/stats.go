@@ -16,6 +16,14 @@ import (
 	"sort"
 )
 
+// SignificanceLevel is the two-tailed p-value threshold the whole
+// evaluation judges by (the paper's α = 0.05): an attack whose
+// distinguishing p-value falls below it is deemed effective, a defense
+// whose residual p-value stays at or above it is deemed to hold.
+// Centralized so every judgment — attack effectiveness, defense-matrix
+// cells, cache-vulnerability benchmarks — uses the same constant.
+const SignificanceLevel = 0.05
+
 // Sample summarizes a one-dimensional data set.
 type Sample struct {
 	N        int

@@ -314,7 +314,7 @@ func DTypeCost(prog *isa.Program, confidence int, seed int64) (baseline, dtype M
 	if err != nil {
 		return Measurement{}, Measurement{}, err
 	}
-	m, err := cpu.NewMachine(cpu.Config{DelaySideEffects: true}, SmallHierarchy(), lvp2, rand.New(rand.NewSource(seed)))
+	m, err := cpu.NewMachine(cpu.Config{Effects: cpu.EffectsDelay}, SmallHierarchy(), lvp2, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return Measurement{}, Measurement{}, err
 	}
